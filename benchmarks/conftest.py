@@ -1,0 +1,93 @@
+"""Shared machinery for the table/figure benches.
+
+Flow runs are expensive (seconds to minutes), and several tables need
+the same design point, so a session-scoped cache memoises them.  The
+statistical netlist scale is configurable::
+
+    REPRO_BENCH_SCALE=0.05 pytest benchmarks/ --benchmark-only
+
+Larger scales take longer and track the paper more closely; the default
+0.04 keeps the whole harness under ~10 minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.core.macro3d import run_flow_macro3d
+from repro.flows.base import FlowOptions, FlowResult
+from repro.flows.compact2d import run_flow_c2d
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.netlist.openpiton import large_cache_config, small_cache_config
+from repro.tech.presets import hk28_macro_die
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+
+_CONFIGS = {
+    "small": small_cache_config,
+    "large": large_cache_config,
+}
+
+
+class FlowCache:
+    """Memoised flow runs keyed by (flow, config, variant)."""
+
+    def __init__(self) -> None:
+        self._cache: Dict[tuple, FlowResult] = {}
+
+    def config(self, name: str):
+        return _CONFIGS[name]()
+
+    def run(self, flow: str, config_name: str, **kwargs) -> FlowResult:
+        key = (flow, config_name, tuple(sorted(kwargs.items())))
+        if key in self._cache:
+            return self._cache[key]
+        config = self.config(config_name)
+        if flow == "2d":
+            result = run_flow_2d(config, scale=BENCH_SCALE, **kwargs)
+        elif flow == "s2d":
+            result = run_flow_s2d(config, scale=BENCH_SCALE, **kwargs)
+        elif flow == "bf_s2d":
+            result = run_flow_s2d(
+                config, scale=BENCH_SCALE, balanced=True, **kwargs
+            )
+        elif flow == "c2d":
+            result = run_flow_c2d(config, scale=BENCH_SCALE, **kwargs)
+        elif flow == "macro3d":
+            result = run_flow_macro3d(config, scale=BENCH_SCALE, **kwargs)
+        elif flow == "macro3d_m4":
+            result = run_flow_macro3d(
+                config, scale=BENCH_SCALE,
+                macro_tech=hk28_macro_die(num_metal_layers=4), **kwargs
+            )
+        else:
+            raise KeyError(flow)
+        self._cache[key] = result
+        return result
+
+    def iso_macro3d(self, config_name: str, target_mhz: float) -> FlowResult:
+        """Macro-3D re-implemented at the 2D design's frequency (Table II)."""
+        key = ("macro3d_iso", config_name, round(target_mhz, 1))
+        if key in self._cache:
+            return self._cache[key]
+        result = run_flow_macro3d(
+            self.config(config_name),
+            scale=BENCH_SCALE,
+            options=FlowOptions(target_frequency_mhz=target_mhz),
+        )
+        self._cache[key] = result
+        return result
+
+
+@pytest.fixture(scope="session")
+def flows() -> FlowCache:
+    return FlowCache()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

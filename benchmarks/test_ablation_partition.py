@@ -1,0 +1,53 @@
+"""Ablation (beyond the paper): what if S2D's partitioner knew better?
+
+The paper blames much of S2D's MoL failure on its tier partitioner,
+which balances cell area 50/50 between dies because it was built for
+homogeneous stacks.  This ablation swaps in a capacity-aware variant
+(cells split per bin in proportion to each die's *estimated* free
+capacity) and measures how much of the gap to Macro-3D that closes —
+and how much remains due to the other mechanisms (frozen pseudo-design
+optimization, non-co-optimized re-route, bin-resolution overlaps).
+"""
+
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.metrics.report import format_table
+from repro.netlist.openpiton import small_cache_config
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+
+
+def test_ablation_capacity_aware_partitioning(benchmark, flows):
+    def build():
+        classic = run_flow_s2d(
+            small_cache_config(), scale=BENCH_SCALE, partition_mode="area"
+        )
+        aware = run_flow_s2d(
+            small_cache_config(), scale=BENCH_SCALE,
+            partition_mode="capacity",
+        )
+        macro3d = flows.run("macro3d", "small")
+        return classic, aware, macro3d
+
+    classic, aware, macro3d = run_once(benchmark, build)
+    print()
+    print(
+        format_table(
+            "Ablation — S2D tier-partitioner awareness (small cache)",
+            [classic.summary, aware.summary, macro3d.summary],
+            rows=["fclk [MHz]", "Emean [fJ/cycle]", "F2F bumps"],
+            baseline=classic.summary.flow,
+        )
+    )
+    print(f"\nforced cells: classic {classic.summary.extras['forced_cells']:.0f}, "
+          f"capacity-aware {aware.summary.extras['forced_cells']:.0f}")
+    print("Conclusion: capacity awareness removes the forced overlaps but "
+          "not the pseudo-parasitic misoptimization — Macro-3D stays ahead.")
+
+    # The capacity-aware variant must fix the forced-overlap disaster...
+    assert (
+        aware.summary.extras["forced_cells"]
+        <= classic.summary.extras["forced_cells"]
+    )
+    assert aware.summary.fclk_mhz > classic.summary.fclk_mhz
+    # ...but the remaining S2D mechanisms keep it below Macro-3D.
+    assert aware.summary.fclk_mhz < macro3d.summary.fclk_mhz

@@ -1,0 +1,61 @@
+"""Figure 4: memory-macro floorplans of the 2D and MoL 3D designs.
+
+Renders the floorplans as ASCII layouts and checks their structural
+properties: the 2D ring-of-banks arrangement with a logic band, the
+pure (or near-pure) macro die, and the logic die with the latency-
+critical L1 arrays.
+"""
+
+from repro.floorplan.macro_placer import place_macros_2d, place_macros_mol
+from repro.io.def_io import write_floorplan_map
+from repro.netlist.openpiton import (
+    build_tile,
+    large_cache_config,
+    small_cache_config,
+)
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+
+
+def test_fig4_macro_floorplans(benchmark):
+    def build():
+        out = {}
+        for config in (small_cache_config(), large_cache_config()):
+            tile = build_tile(config, scale=BENCH_SCALE)
+            out[config.name] = (
+                tile,
+                place_macros_2d(tile),
+                place_macros_mol(tile),
+            )
+        return out
+
+    results = run_once(benchmark, build)
+    print()
+    for name, (tile, fp2d, (macro_fp, logic_fp)) in results.items():
+        print(f"=== Fig. 4 — {name} ===")
+        print(f"2D floorplan ({fp2d.outline.width:.0f} um square):")
+        print(write_floorplan_map(fp2d, rows=14, cols=34))
+        print(f"MoL macro die ({macro_fp.outline.width:.0f} um square):")
+        print(write_floorplan_map(macro_fp, rows=14, cols=34))
+        print("MoL logic die:")
+        print(write_floorplan_map(logic_fp, rows=14, cols=34))
+
+        # Structural checks.
+        all_macros = {m.name for m in tile.netlist.macros()}
+        assert set(fp2d.macro_placements) == all_macros
+        placed_3d = set(macro_fp.macro_placements) | set(
+            logic_fp.macro_placements
+        )
+        assert placed_3d == all_macros
+        # The L1 arrays stay with the logic (latency-critical).
+        assert any(
+            n.startswith("l1") for n in logic_fp.macro_placements
+        )
+        # The macro die carries the bulk of the memory area.
+        macro_area = sum(
+            r.area for r in macro_fp.macro_placements.values()
+        )
+        logic_area = sum(
+            r.area for r in logic_fp.macro_placements.values()
+        )
+        assert macro_area > logic_area

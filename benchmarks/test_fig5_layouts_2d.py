@@ -1,0 +1,41 @@
+"""Figure 5: final placed-and-routed 2D layouts.
+
+Renders the 2D designs of both tile configurations as cell-density maps
+(macros as blocks, standard cells as a density ramp), plus the layout
+statistics a layout plot conveys: utilization, wirelength by layer,
+congestion hotspots.
+"""
+
+import pytest
+
+from repro.io.def_io import write_density_map
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("config_name", ["small", "large"])
+def test_fig5_final_2d_layout(benchmark, flows, config_name):
+    result = run_once(benchmark, lambda: flows.run("2d", config_name))
+    print()
+    print(f"=== Fig. 5 — final 2D layout, {config_name}-cache ===")
+    print(write_density_map(result.placement, rows=20, cols=44))
+    grid = result.grid
+    names = [l.name for l in grid.stack.routing_layers]
+    wl = {
+        names[k]: v / 1e6
+        for k, v in sorted(result.assignment.wirelength_by_layer.items())
+    }
+    print("Wirelength by layer [m]: "
+          + ", ".join(f"{k}={v:.2f}" for k, v in wl.items()))
+    print(f"Routing overflow: {grid.overflow_2d():.0f} track-edges, "
+          f"detour factor {result.summary.detour_factor:.3f}")
+
+    # Layout invariants: every cell inside the die, zero legalization
+    # failures, all metal layers used.
+    placement = result.placement
+    outline = placement.floorplan.outline
+    m = placement.movable
+    assert (placement.x[m] >= outline.xlo - 1e-6).all()
+    assert (placement.x[m] <= outline.xhi + 1e-6).all()
+    assert result.legalization.failures == 0
+    assert len(wl) >= 5  # the 2D design needs (almost) the full stack

@@ -1,0 +1,65 @@
+"""Figure 6: final Macro-3D layouts — macro die and logic die.
+
+Renders the separated dies of the Macro-3D designs: the macro die's
+bank array, the logic die's cells (plus its few macros), and the F2F
+bump distribution that Fig. 6 shows as red dots.
+"""
+
+import numpy as np
+import pytest
+
+from repro.io.def_io import write_density_map, write_floorplan_map
+
+from benchmarks.conftest import run_once
+
+
+@pytest.mark.parametrize("config_name", ["small", "large"])
+def test_fig6_final_mol_layout(benchmark, flows, config_name):
+    result = run_once(benchmark, lambda: flows.run("macro3d", config_name))
+    print()
+    print(f"=== Fig. 6 — final Macro-3D layout, {config_name}-cache ===")
+    macro_fp = result.floorplans["macro_die"]
+    logic_fp = result.floorplans["logic_die"]
+    print(f"Macro die ({macro_fp.outline.width:.0f} um square, "
+          f"{len(macro_fp.macro_placements)} banks):")
+    print(write_floorplan_map(macro_fp, rows=18, cols=40))
+    print("Logic die (cells + latency-critical macros):")
+    print(
+        write_density_map(
+            result.placement, rows=18, cols=40,
+            macro_names=set(logic_fp.macro_placements),
+        )
+    )
+
+    grid = result.grid
+    usage = grid.f2f_usage
+    total = int(usage.sum())
+    print(f"F2F bumps (red dots of Fig. 6): {total} used of "
+          f"{int(grid.f2f_capacity.sum())} sites")
+    # Coarse bump heat map.
+    rows, cols = 10, 20
+    heat = np.zeros((rows, cols))
+    ry = max(1, usage.shape[1] // rows)
+    rx = max(1, usage.shape[0] // cols)
+    for ix in range(usage.shape[0]):
+        for iy in range(usage.shape[1]):
+            heat[min(rows - 1, iy // ry), min(cols - 1, ix // rx)] += (
+                usage[ix, iy]
+            )
+    ramp = " .:*#@"
+    peak = heat.max() if heat.max() > 0 else 1.0
+    print("Bump density (top of die first):")
+    for r in range(rows - 1, -1, -1):
+        line = "".join(
+            ramp[min(len(ramp) - 1, int(heat[r, c] / peak * len(ramp)))]
+            for c in range(cols)
+        )
+        print("  |" + line + "|")
+
+    # Invariants: bumps exist, never exceed the pitch-limited supply,
+    # and the macro die holds no standard cells.
+    assert total > 0
+    assert (usage <= grid.f2f_capacity + 1e-9).all()
+    assert result.summary.extras["macro_die_wirelength_m"] < (
+        result.summary.extras["logic_die_wirelength_m"]
+    )

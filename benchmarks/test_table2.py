@@ -1,0 +1,88 @@
+"""Table II: in-depth comparison of the 2D and Macro-3D designs.
+
+Both cache configurations, all eleven paper rows, plus the in-text
+iso-performance claim: re-implementing Macro-3D at the 2D design's
+frequency saves power (paper: -3.2 % small, -3.8 % large).
+
+Paper values:
+                      small 2D / M3D        large 2D / M3D
+    fclk [MHz]        390 / 470 (+20.5%)    328 / 421 (+28.2%)
+    Emean [fJ/c]      116.7 / 117.6         369.3 / 366.1
+    Afootprint [mm2]  1.20 / 0.60           3.88 / 1.94
+    Alogic [mm2]      0.29 / 0.30           0.47 / 0.47
+    Total WL [m]      6.3 / 5.6 (-11.8%)    12.2 / 10.4 (-14.8%)
+    F2F bumps         0 / 4740              0 / 1215
+    Cpin [nF]         0.36 / 0.38           0.52 / 0.56
+    Cwire [nF]        0.89 / 0.83           1.61 / 1.44
+    Clk depth         13 / 14               20 / 16
+    Crit WL [mm]      1.49 / 0.55           2.21 / 1.50
+"""
+
+import pytest
+
+from repro.metrics.ppa import relative_change
+from repro.metrics.report import format_table
+
+from benchmarks.conftest import run_once
+
+ROWS = [
+    "fclk [MHz]", "Emean [fJ/cycle]", "Afootprint [mm2]",
+    "Alogic-cells [mm2]", "Total wirelength [m]", "F2F bumps",
+    "Cpin,total [nF]", "Cwire,total [nF]", "Max clk-tree depth",
+    "Crit-path wirelength [mm]",
+]
+
+
+@pytest.mark.parametrize("config_name", ["small", "large"])
+def test_table2_in_depth(benchmark, flows, config_name):
+    def build():
+        r2d = flows.run("2d", config_name)
+        r3d = flows.run("macro3d", config_name)
+        iso = flows.iso_macro3d(config_name, r2d.summary.fclk_mhz)
+        return r2d, r3d, iso
+
+    r2d, r3d, iso = run_once(benchmark, build)
+    print()
+    print(
+        format_table(
+            f"Table II — 2D vs Macro-3D, {config_name}-cache system",
+            [r2d.summary, r3d.summary],
+            rows=ROWS,
+            baseline="2D",
+        )
+    )
+    gain = relative_change(r2d.summary.fclk_mhz, r3d.summary.fclk_mhz)
+    power_delta = relative_change(
+        r2d.summary.power_uw, iso.summary.power_uw
+    )
+    print(f"\nfclk gain: {gain:+.1f}%  "
+          f"(paper: +20.5% small / +28.2% large)")
+    print(f"iso-performance power delta at {r2d.summary.fclk_mhz:.0f} MHz: "
+          f"{power_delta:+.1f}%  (paper: -3.2% / -3.8%)")
+
+    # Shape assertions.
+    assert r3d.summary.fclk_mhz > r2d.summary.fclk_mhz
+    assert r3d.summary.total_wirelength_m < r2d.summary.total_wirelength_m
+    assert r3d.summary.cwire_nf < r2d.summary.cwire_nf
+    assert r3d.summary.f2f_bumps > 0 and r2d.summary.f2f_bumps == 0
+    assert r3d.summary.crit_path_wl_mm < r2d.summary.crit_path_wl_mm * 1.2
+    # The paper fixes the ratio at exactly 2.0; our packers recover from
+    # shelf waste by growing, so the measured ratio floats around it.
+    ratio = r2d.summary.footprint_mm2 / r3d.summary.footprint_mm2
+    assert 1.5 < ratio <= 2.6
+
+
+def test_table2_bump_ordering_small_vs_large(benchmark, flows):
+    """The paper's counter-intuitive row: the large-cache Macro-3D design
+    needs FEWER bumps than the small one (1215 vs 4740) because its
+    capacity compiles into fewer, wider banks."""
+    def build():
+        return (
+            flows.run("macro3d", "small").summary.f2f_bumps,
+            flows.run("macro3d", "large").summary.f2f_bumps,
+        )
+
+    small_bumps, large_bumps = run_once(benchmark, build)
+    print(f"\nF2F bumps: small {small_bumps}, large {large_bumps} "
+          "(paper: 4740 vs 1215)")
+    assert large_bumps < small_bumps

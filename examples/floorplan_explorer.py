@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Floorplan explorer: the macro floorplans of Fig. 4 as ASCII maps.
+
+Builds both case-study tiles and renders the three floorplan styles —
+the 2D baseline, the MoL macro/logic die pair, and the balanced (BF)
+variant — as ASCII layouts, plus the capacity numbers behind them.
+
+Run:  python examples/floorplan_explorer.py
+"""
+
+from repro.floorplan.macro_placer import (
+    balanced_macro_split,
+    place_macros_2d,
+    place_macros_mol,
+)
+from repro.io.def_io import write_floorplan_map
+from repro.netlist.openpiton import (
+    build_tile,
+    large_cache_config,
+    small_cache_config,
+)
+
+
+def show(title: str, floorplan, netlist) -> None:
+    print(f"--- {title}: {floorplan.outline.width:.0f} x "
+          f"{floorplan.outline.height:.0f} um, "
+          f"{len(floorplan.macro_placements)} macros, "
+          f"cell capacity {floorplan.cell_capacity() / 1e6:.3f} mm2")
+    print(write_floorplan_map(floorplan, rows=16, cols=40))
+
+
+def main() -> None:
+    for config in (small_cache_config(), large_cache_config()):
+        tile = build_tile(config, scale=0.03)
+        print(f"=== {config.name} "
+              f"({config.total_cache_kb()} kB of cache) ===\n")
+        fp2d = place_macros_2d(tile)
+        show("2D floorplan (Fig. 4 left)", fp2d, tile.netlist)
+        macro_fp, logic_fp = place_macros_mol(tile)
+        show("MoL macro die (Fig. 4 right, top die)", macro_fp, tile.netlist)
+        show("MoL logic die (bottom die)", logic_fp, tile.netlist)
+        die_a, die_b = balanced_macro_split(tile)
+        show("BF die A (S2D best case)", die_a, tile.netlist)
+        show("BF die B", die_b, tile.netlist)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Memory-on-logic case study: 2D baseline vs prior 3D flows vs Macro-3D.
+
+Reproduces the flow comparison of the paper's Table I on the small-cache
+OpenPiton tile: the 2D reference, Shrunk-2D with the MoL floorplan, the
+balanced-floorplan S2D variant, and Macro-3D — printed as a paper-style
+table with percentage deltas against the 2D column.
+
+Run:  python examples/memory_on_logic_tile.py        (~2-4 minutes)
+"""
+
+from repro.core.macro3d import run_flow_macro3d
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.metrics.report import format_table
+from repro.netlist.openpiton import small_cache_config
+
+
+def main() -> None:
+    config = small_cache_config()
+    scale = 0.03
+
+    print("Running the 2D baseline flow ...")
+    r2d = run_flow_2d(config, scale=scale)
+    print("Running MoL S2D (Shrunk-2D on the MoL floorplan) ...")
+    s2d = run_flow_s2d(config, scale=scale)
+    print("Running BF S2D (balanced floorplan, the prior flows' best case) ...")
+    bf = run_flow_s2d(config, scale=scale, balanced=True)
+    print("Running Macro-3D ...")
+    m3d = run_flow_macro3d(config, scale=scale)
+
+    table = format_table(
+        "Max-performance PPA and cost (cf. paper Table I)",
+        [r2d.summary, s2d.summary, bf.summary, m3d.summary],
+        rows=["fclk [MHz]", "Emean [fJ/cycle]", "Afootprint [mm2]", "F2F bumps"],
+        baseline="2D",
+    )
+    print()
+    print(table)
+    print(
+        "\nExpected shape (paper): Macro-3D > 2D > BF S2D > MoL S2D on "
+        "fclk; Macro-3D needs fewer bumps than the S2D variants."
+    )
+
+
+if __name__ == "__main__":
+    main()

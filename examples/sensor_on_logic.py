@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Sensor-on-logic stacking with Macro-3D.
+
+The paper's second heterogeneous target (Sec. I-II): the top die holds
+full-custom sensor front-ends (pixel arrays + ADCs) in a coarser BEOL,
+the bottom die the digital read-out and processing logic.  This example
+builds such a system from scratch — custom sensor macros, a read-out
+netlist, a fused Tile — and runs it through the same Macro-3D flow used
+for memory-on-logic, with a four-metal macro-die BEOL.
+
+Run:  python examples/sensor_on_logic.py
+"""
+
+from typing import List
+
+from repro.cells.library import default_library
+from repro.cells.macro import Macro, MacroPin, Obstruction
+from repro.cells.stdcell import PinDirection
+from repro.core.macro3d import run_flow_macro3d
+from repro.geom import Point, Rect
+from repro.netlist.core import Netlist, PortConstraint
+from repro.netlist.generator import LogicCloudBuilder
+from repro.netlist.openpiton import MACRO_DIE, Tile
+from repro.tech.presets import hk28, hk28_macro_die
+
+
+def make_sensor_macro(name: str, channels: int) -> Macro:
+    """A pixel-array + ADC front-end as a clocked black-box macro.
+
+    The geometry is coarse (sensors do not benefit from aggressive
+    nodes); DOUT channels deliver digitised samples each clock.
+    """
+    width, height = 420.0, 260.0
+    pins: List[MacroPin] = [
+        MacroPin("CLK", PinDirection.INPUT, Point(10.0, 0.0), "M4",
+                 capacitance=2.0, is_clock=True),
+        MacroPin("EN", PinDirection.INPUT, Point(22.0, 0.0), "M4",
+                 capacitance=1.4),
+    ]
+    step = width / (channels + 4)
+    for i in range(channels):
+        pins.append(
+            MacroPin(f"SAMPLE[{i}]", PinDirection.OUTPUT,
+                     Point(step * (i + 3), 0.0), "M4")
+        )
+    obstructions = tuple(
+        Obstruction(layer, Rect(0.0, 0.0, width, height))
+        for layer in ("M1", "M2", "M3", "M4")
+    )
+    return Macro(
+        name=name,
+        width=width,
+        height=height,
+        pins=tuple(pins),
+        obstructions=obstructions,
+        setup_time=140.0,
+        access_delay=900.0,  # sample latency through the ADC
+        drive_resistance=1800.0,
+        energy_per_access=2500.0,
+        leakage=4.0,
+        is_memory=True,  # clocked black box: launches/captures like an SRAM
+    )
+
+
+def build_sensor_system(scale: float = 0.05) -> Tile:
+    """Four sensor front-ends plus a digital read-out/processing die."""
+    library = default_library(width_scale=1.0 / (scale * 2.37))
+    netlist = Netlist("sensor_on_logic")
+    builder = LogicCloudBuilder(netlist, library, seed=404)
+
+    clock = netlist.add_net("clk")
+    clock.is_clock = True
+    clk_port = netlist.add_port(
+        "clk", PinDirection.INPUT, PortConstraint(edge="W", position=0.5)
+    )
+    netlist.connect_port(clock, clk_port)
+
+    die_pref = {}
+    sensors = []
+    for i in range(4):
+        macro = make_sensor_macro(f"AFE_16CH_{i}", channels=16)
+        inst = netlist.add_instance(f"afe{i}", macro)
+        inst.fixed = True
+        netlist.connect(clock, inst, "CLK")
+        die_pref[inst.name] = MACRO_DIE
+        sensors.append(inst)
+
+    # Digital read-out: filtering/framing pipeline per sensor plus a
+    # shared processing cloud.
+    readout = builder.add_cloud(
+        "readout", num_gates=int(24000 * scale), num_flops=int(4500 * scale),
+        depth=9, clock_net=clock,
+    )
+    dsp = builder.add_cloud(
+        "dsp", num_gates=int(40000 * scale), num_flops=int(7000 * scale),
+        depth=12, clock_net=clock, num_inputs=16,
+    )
+    for net in dsp.open_inputs:
+        builder.drive_net_from(net, readout.exported_nets)
+
+    # Wire the sensors: EN from read-out registers, SAMPLE channels into
+    # read-out registers through one gate (the channel deserialiser).
+    mux = library.cell("NAND2_X2")
+    flop = library.cell("DFF_X2")
+    for i, inst in enumerate(sensors):
+        netlist.connect(readout.exported_nets[i], inst, "EN")
+        for pin in inst.master.output_pins:
+            net = netlist.add_net(f"{inst.name}/{pin.name}")
+            netlist.connect(net, inst, pin.name)
+            gate = netlist.add_instance(f"{inst.name}/{pin.name}_g", mux)
+            netlist.connect(net, gate, "A")
+            netlist.connect(
+                readout.exported_nets[(i * 16 + 1) % len(readout.exported_nets)],
+                gate, "B",
+            )
+            gnet = netlist.add_net(f"{inst.name}/{pin.name}_n")
+            netlist.connect(gnet, gate, "Y")
+            reg = netlist.add_instance(f"{inst.name}/{pin.name}_r", flop)
+            netlist.connect(clock, reg, "CK")
+            netlist.connect(gnet, reg, "D")
+            q = netlist.add_net(f"{inst.name}/{pin.name}_q")
+            netlist.connect(q, reg, "Q")
+
+    netlist.validate()
+    return Tile(
+        config=None,
+        netlist=netlist,
+        library=library,
+        clock_net=clock,
+        macro_die_preference=die_pref,
+        scale=scale,
+    )
+
+
+def main() -> None:
+    tile = build_sensor_system(scale=0.05)
+    print(f"System: {tile.netlist}")
+    print(f"Sensor macros: {len(tile.netlist.macros())}, "
+          f"{tile.netlist.macro_area_fraction():.0%} of substrate area")
+
+    # The sensing die only needs four metals — heterogeneous BEOL.
+    result = run_flow_macro3d(
+        config=None,
+        tile=tile,
+        logic_tech=hk28(),
+        macro_tech=hk28_macro_die(num_metal_layers=4),
+    )
+    print("\nMacro-3D sign-off for the sensor-on-logic stack:")
+    for key, value in result.summary.as_row().items():
+        print(f"  {key:28s} {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Macro-3D: a physical design methodology for F2F-stacked heterogeneous
+3D ICs — a full reproduction of the DATE 2020 paper, including the 2D,
+Shrunk-2D and Compact-2D baseline flows and every substrate they run on.
+
+Public entry points:
+
+- :func:`repro.core.macro3d.run_flow_macro3d` — the paper's flow.
+- :func:`repro.flows.flow2d.run_flow_2d`, :func:`repro.flows.shrunk2d.
+  run_flow_s2d`, :func:`repro.flows.compact2d.run_flow_c2d` — baselines.
+- :mod:`repro.netlist.openpiton` — the case-study tile generator.
+- :mod:`repro.tech.presets` — the 28 nm-class technology.
+- ``python -m repro`` — the command-line interface.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,24 @@
+"""Cell libraries: standard cells, black-box macros, and the SRAM compiler.
+
+The physical-design flows treat everything as black boxes with area, pins,
+parasitics and timing arcs — exactly the abstraction a commercial flow
+gets from liberty/LEF views.
+"""
+
+from repro.cells.stdcell import PinDirection, StdCell, StdCellPin
+from repro.cells.library import StdCellLibrary, default_library
+from repro.cells.macro import Macro, MacroPin, Obstruction
+from repro.cells.memory_compiler import SRAMCompiler, SRAMConfig
+
+__all__ = [
+    "PinDirection",
+    "StdCell",
+    "StdCellPin",
+    "StdCellLibrary",
+    "default_library",
+    "Macro",
+    "MacroPin",
+    "Obstruction",
+    "SRAMCompiler",
+    "SRAMConfig",
+]

@@ -1,0 +1,190 @@
+"""Black-box macro modeling (SRAMs, sensors, analog blocks).
+
+A :class:`Macro` is what the physical-design flows see of a full-custom
+block: a substrate footprint, pins with (x, y) offsets and a metal layer,
+routing obstructions per layer, and boundary timing (setup at inputs,
+clock-to-out at outputs).
+
+Two operations implement the scripted LEF edits of the Macro-3D flow
+(paper Sec. IV):
+
+- :meth:`Macro.with_layer_suffix` renames every pin and obstruction layer
+  (``M3`` -> ``M3_MD``) so the macro can live in the combined BEOL.
+- :meth:`Macro.with_shrunk_substrate` shrinks the *substrate* footprint to
+  filler-cell size while leaving pin and obstruction geometry untouched —
+  macro-die macros occupy no logic-die substrate, but commercial tools do
+  not allow zero-area instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.stdcell import PinDirection
+from repro.geom import Point, Rect
+
+
+@dataclass(frozen=True)
+class MacroPin:
+    """One boundary pin of a macro.
+
+    Attributes:
+        name: pin name, e.g. ``"DOUT[13]"``.
+        direction: signal direction.
+        offset: pin location relative to the macro origin (um).
+        layer: metal layer the pin shape sits on.
+        capacitance: input capacitance in fF (0 for outputs).
+        is_clock: True for the clock pin.
+    """
+
+    name: str
+    direction: PinDirection
+    offset: Point
+    layer: str
+    capacitance: float = 0.0
+    is_clock: bool = False
+
+    def renamed_layer(self, layer: str) -> "MacroPin":
+        return replace(self, layer=layer)
+
+
+@dataclass(frozen=True)
+class Obstruction:
+    """A routing blockage inside a macro: a rectangle on one metal layer."""
+
+    layer: str
+    rect: Rect
+
+    def renamed_layer(self, layer: str) -> "Obstruction":
+        return replace(self, layer=layer)
+
+
+@dataclass(frozen=True)
+class Macro:
+    """A hard macro block.
+
+    Attributes:
+        name: macro cell name, e.g. ``"SRAM_256X144"``.
+        width / height: full macro extents in um (pin coordinate space).
+        pins: boundary pins.
+        obstructions: internal routing blockages.
+        substrate: the substrate area the instance occupies for placement;
+            equals the full extents unless shrunk by Macro-3D.
+        setup_time: input setup in ps relative to the macro clock.
+        access_delay: clock-to-output delay in ps.
+        drive_resistance: output driver resistance in ohm.
+        energy_per_access: internal energy in fJ per clocked access.
+        leakage: leakage power in uW at the typical corner.
+        is_memory: True for SRAMs (participate in clocked timing paths).
+    """
+
+    name: str
+    width: float
+    height: float
+    pins: Tuple[MacroPin, ...]
+    obstructions: Tuple[Obstruction, ...] = ()
+    substrate: Optional[Rect] = None
+    setup_time: float = 0.0
+    access_delay: float = 0.0
+    drive_resistance: float = 0.0
+    energy_per_access: float = 0.0
+    leakage: float = 0.0
+    is_memory: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"macro {self.name}: dimensions must be positive")
+        names = [pin.name for pin in self.pins]
+        if len(set(names)) != len(names):
+            raise ValueError(f"macro {self.name}: duplicate pin names")
+        bbox = self.bbox
+        for pin in self.pins:
+            if not bbox.contains_point(pin.offset, tol=1e-6):
+                raise ValueError(
+                    f"macro {self.name}: pin {pin.name} at {pin.offset} "
+                    f"lies outside the macro extents"
+                )
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def bbox(self) -> Rect:
+        """Full macro extents in its own coordinate space."""
+        return Rect(0.0, 0.0, self.width, self.height)
+
+    @property
+    def substrate_rect(self) -> Rect:
+        """The substrate area occupied for placement purposes."""
+        return self.substrate if self.substrate is not None else self.bbox
+
+    @property
+    def area(self) -> float:
+        """Full macro area (um2)."""
+        return self.width * self.height
+
+    @property
+    def substrate_area(self) -> float:
+        return self.substrate_rect.area
+
+    def pin(self, name: str) -> MacroPin:
+        for pin in self.pins:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"macro {self.name} has no pin {name}")
+
+    @property
+    def clock_pin(self) -> Optional[MacroPin]:
+        for pin in self.pins:
+            if pin.is_clock:
+                return pin
+        return None
+
+    @property
+    def input_pins(self) -> List[MacroPin]:
+        return [p for p in self.pins
+                if p.direction is PinDirection.INPUT and not p.is_clock]
+
+    @property
+    def output_pins(self) -> List[MacroPin]:
+        return [p for p in self.pins if p.direction is PinDirection.OUTPUT]
+
+    def pin_layers(self) -> List[str]:
+        """Distinct layers used by pins, bottom-up order not guaranteed."""
+        return sorted({pin.layer for pin in self.pins})
+
+    def obstruction_layers(self) -> List[str]:
+        return sorted({obs.layer for obs in self.obstructions})
+
+    # -- scripted LEF edits (Macro-3D, Sec. IV) -------------------------------
+
+    def with_layer_suffix(self, suffix: str) -> "Macro":
+        """Rename every pin/obstruction layer with ``suffix`` (e.g. ``"_MD"``).
+
+        The (x, y) boundaries of pins and obstructions are left unmodified,
+        exactly as the paper's scripted LEF edit does.
+        """
+        return replace(
+            self,
+            name=self.name + suffix,
+            pins=tuple(p.renamed_layer(p.layer + suffix) for p in self.pins),
+            obstructions=tuple(
+                o.renamed_layer(o.layer + suffix) for o in self.obstructions
+            ),
+        )
+
+    def with_shrunk_substrate(self, filler_width: float, row_height: float) -> "Macro":
+        """Shrink the substrate footprint to one filler cell.
+
+        Pin and obstruction geometry is untouched; only the area the
+        placer must keep free of standard cells collapses.
+        """
+        if filler_width <= 0 or row_height <= 0:
+            raise ValueError("filler dimensions must be positive")
+        shrunk = Rect(0.0, 0.0, min(filler_width, self.width),
+                      min(row_height, self.height))
+        return replace(self, substrate=shrunk)
+
+    def with_restored_substrate(self) -> "Macro":
+        """Undo :meth:`with_shrunk_substrate` (used at die separation)."""
+        return replace(self, substrate=None)

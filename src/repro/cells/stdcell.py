@@ -1,0 +1,195 @@
+"""Standard-cell modeling.
+
+Each cell carries the abstract views a commercial flow reads from
+liberty/LEF: area, per-pin capacitance, a linear delay model
+(``delay = intrinsic + R_drive * C_load``, composing with Elmore wire
+delay), leakage, and internal switching energy.  The linear model is the
+first-order form of the lookup tables real libraries tabulate and is
+accurate enough for flow-to-flow comparisons.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class PinDirection(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+
+@dataclass(frozen=True)
+class StdCellPin:
+    """One logical pin of a standard cell.
+
+    Attributes:
+        name: pin name (``"A"``, ``"Y"``, ``"CK"``...).
+        direction: signal direction.
+        capacitance: input pin capacitance in fF (0 for outputs).
+        is_clock: True for the clock pin of sequential cells.
+    """
+
+    name: str
+    direction: PinDirection
+    capacitance: float = 0.0
+    is_clock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ValueError(f"pin {self.name}: capacitance must be >= 0")
+
+
+@dataclass(frozen=True)
+class StdCell:
+    """A standard cell (combinational gate, flip-flop, buffer, filler).
+
+    Attributes:
+        name: library cell name, e.g. ``"NAND2_X2"``.
+        width / height: footprint in um (height equals the row height).
+        pins: logical pins in declaration order.
+        drive_resistance: output driver resistance in ohm (0 if no output).
+        intrinsic_delay: parasitic delay in ps added to every arc.
+        leakage: leakage power in uW at the typical corner.
+        internal_energy: internal energy in fJ per output toggle.
+        is_sequential: True for flip-flops/latches.
+        setup_time / clk_to_q: sequential constraints in ps (0 otherwise).
+        drive_index: integer drive strength (1 for X1, 2 for X2...).
+    """
+
+    name: str
+    width: float
+    height: float
+    pins: Tuple[StdCellPin, ...]
+    drive_resistance: float = 0.0
+    intrinsic_delay: float = 0.0
+    leakage: float = 0.0
+    internal_energy: float = 0.0
+    is_sequential: bool = False
+    setup_time: float = 0.0
+    clk_to_q: float = 0.0
+    drive_index: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"cell {self.name}: dimensions must be positive")
+        names = [pin.name for pin in self.pins]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cell {self.name}: duplicate pin names")
+        if self.is_sequential and not any(pin.is_clock for pin in self.pins):
+            raise ValueError(f"cell {self.name}: sequential cell needs a clock pin")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def pin(self, name: str) -> StdCellPin:
+        for pin in self.pins:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"cell {self.name} has no pin {name}")
+
+    @property
+    def input_pins(self) -> List[StdCellPin]:
+        return [p for p in self.pins
+                if p.direction is PinDirection.INPUT and not p.is_clock]
+
+    @property
+    def output_pins(self) -> List[StdCellPin]:
+        return [p for p in self.pins if p.direction is PinDirection.OUTPUT]
+
+    @property
+    def clock_pin(self) -> Optional[StdCellPin]:
+        for pin in self.pins:
+            if pin.is_clock:
+                return pin
+        return None
+
+    def delay(self, load_ff: float, derate: float = 1.0) -> float:
+        """Arc delay in ps driving ``load_ff`` femtofarads at a corner derate.
+
+        Uses the linear model ``intrinsic + R_drive * C_load`` with the RC
+        product converted from ohm*fF to ps.
+        """
+        if not self.output_pins:
+            raise ValueError(f"cell {self.name} has no output to compute delay for")
+        wire_term = self.drive_resistance * load_ff * 1.0e-3
+        return derate * (self.intrinsic_delay + wire_term)
+
+
+def _comb_pins(inputs: List[str], input_cap: float) -> Tuple[StdCellPin, ...]:
+    pins = [StdCellPin(name, PinDirection.INPUT, input_cap) for name in inputs]
+    pins.append(StdCellPin("Y", PinDirection.OUTPUT))
+    return tuple(pins)
+
+
+def make_combinational(
+    base_name: str,
+    inputs: List[str],
+    drive: int,
+    base_width: float,
+    base_input_cap: float,
+    base_resistance: float,
+    intrinsic_delay: float,
+    base_leakage: float,
+    base_internal_energy: float,
+    row_height: float,
+) -> StdCell:
+    """Build one drive-strength variant of a combinational cell.
+
+    Scaling follows logical-effort practice: an X``n`` cell has ``n`` times
+    the input capacitance, drive (1/``n`` resistance), area, leakage and
+    internal energy of the X1 cell; the intrinsic delay is size-independent.
+    """
+    if drive < 1:
+        raise ValueError("drive strength must be >= 1")
+    return StdCell(
+        name=f"{base_name}_X{drive}",
+        width=base_width * drive,
+        height=row_height,
+        pins=_comb_pins(inputs, base_input_cap * drive),
+        drive_resistance=base_resistance / drive,
+        intrinsic_delay=intrinsic_delay,
+        leakage=base_leakage * drive,
+        internal_energy=base_internal_energy * drive,
+        drive_index=drive,
+    )
+
+
+def make_flipflop(
+    name: str,
+    drive: int,
+    base_width: float,
+    data_cap: float,
+    clock_cap: float,
+    base_resistance: float,
+    clk_to_q: float,
+    setup_time: float,
+    base_leakage: float,
+    base_internal_energy: float,
+    row_height: float,
+) -> StdCell:
+    """Build one drive-strength variant of a D flip-flop."""
+    if drive < 1:
+        raise ValueError("drive strength must be >= 1")
+    pins = (
+        StdCellPin("D", PinDirection.INPUT, data_cap),
+        StdCellPin("CK", PinDirection.INPUT, clock_cap, is_clock=True),
+        StdCellPin("Q", PinDirection.OUTPUT),
+    )
+    return StdCell(
+        name=f"{name}_X{drive}",
+        width=base_width * drive,
+        height=row_height,
+        pins=pins,
+        drive_resistance=base_resistance / drive,
+        intrinsic_delay=clk_to_q,
+        leakage=base_leakage * drive,
+        internal_energy=base_internal_energy * drive,
+        is_sequential=True,
+        setup_time=setup_time,
+        clk_to_q=clk_to_q,
+        drive_index=drive,
+    )

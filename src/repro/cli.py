@@ -1,0 +1,166 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Runs the case-study flows and prints paper-style tables without writing
+any Python — the interface a downstream user reaches for first.
+
+Commands::
+
+    python -m repro run --flow macro3d --config small --scale 0.04
+    python -m repro compare --config small --scale 0.03
+    python -m repro table3 --config large
+    python -m repro floorplans --config small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.macro3d import run_flow_macro3d
+from repro.flows.base import FlowOptions, FlowResult
+from repro.flows.compact2d import run_flow_c2d
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.io.def_io import write_floorplan_map
+from repro.metrics.report import format_table
+from repro.netlist.openpiton import (
+    TileConfig,
+    build_tile,
+    large_cache_config,
+    small_cache_config,
+)
+from repro.tech.presets import hk28_macro_die
+
+_FLOWS = {
+    "2d": run_flow_2d,
+    "s2d": run_flow_s2d,
+    "c2d": run_flow_c2d,
+    "macro3d": run_flow_macro3d,
+}
+
+
+def _config(name: str) -> TileConfig:
+    if name == "small":
+        return small_cache_config()
+    if name == "large":
+        return large_cache_config()
+    raise SystemExit(f"unknown config {name!r} (small|large)")
+
+
+def _print_result(result: FlowResult) -> None:
+    print(f"== {result.flow} on {result.design} ==")
+    for key, value in result.summary.as_row().items():
+        print(f"  {key:28s} {value}")
+    critical = result.sta.critical
+    if critical is not None:
+        print(f"  critical endpoint            {critical.endpoint} "
+              f"({critical.launch}-cycle, {critical.delay:.0f} ps)")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    runner = _FLOWS[args.flow]
+    kwargs = {}
+    if args.flow == "s2d" and args.balanced:
+        kwargs["balanced"] = True
+    if args.flow == "macro3d" and args.macro_metals != 6:
+        kwargs["macro_tech"] = hk28_macro_die(args.macro_metals)
+    result = runner(_config(args.config), scale=args.scale, **kwargs)
+    _print_result(result)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _config(args.config)
+    results = [
+        run_flow_2d(config, scale=args.scale),
+        run_flow_s2d(config, scale=args.scale),
+        run_flow_s2d(config, scale=args.scale, balanced=True),
+        run_flow_macro3d(config, scale=args.scale),
+    ]
+    print(
+        format_table(
+            f"Flow comparison — {config.name} (cf. paper Table I)",
+            [r.summary for r in results],
+            rows=["fclk [MHz]", "Emean [fJ/cycle]", "Afootprint [mm2]",
+                  "F2F bumps"],
+            baseline="2D",
+        )
+    )
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    config = _config(args.config)
+    full = run_flow_macro3d(config, scale=args.scale)
+    thin = run_flow_macro3d(
+        config, scale=args.scale, macro_tech=hk28_macro_die(4)
+    )
+    print(
+        format_table(
+            f"Heterogeneous BEOL — {config.name} (cf. paper Table III)",
+            [full.summary, thin.summary],
+            rows=["fclk [MHz]", "Emean [fJ/cycle]", "Ametal [mm2]",
+                  "F2F bumps"],
+            baseline=full.summary.flow,
+        )
+    )
+    return 0
+
+
+def cmd_floorplans(args: argparse.Namespace) -> int:
+    from repro.floorplan.macro_placer import place_macros_2d, place_macros_mol
+    tile = build_tile(_config(args.config), scale=args.scale)
+    fp2d = place_macros_2d(tile)
+    macro_fp, logic_fp = place_macros_mol(tile)
+    print(f"2D floorplan ({fp2d.outline.width:.0f} um):")
+    print(write_floorplan_map(fp2d))
+    print(f"MoL macro die ({macro_fp.outline.width:.0f} um):")
+    print(write_floorplan_map(macro_fp))
+    print("MoL logic die:")
+    print(write_floorplan_map(logic_fp))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Macro-3D reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--config", default="small", choices=["small", "large"])
+        p.add_argument("--scale", type=float, default=0.03,
+                       help="statistical netlist scale (see DESIGN.md)")
+
+    run_p = sub.add_parser("run", help="run one flow and print its summary")
+    run_p.add_argument("--flow", default="macro3d", choices=sorted(_FLOWS))
+    run_p.add_argument("--balanced", action="store_true",
+                       help="use the balanced (BF) floorplan with s2d")
+    run_p.add_argument("--macro-metals", type=int, default=6,
+                       help="macro-die metal layers for macro3d (6 or 4)")
+    common(run_p)
+    run_p.set_defaults(handler=cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="Table-I style flow comparison")
+    common(cmp_p)
+    cmp_p.set_defaults(handler=cmd_compare)
+
+    t3_p = sub.add_parser("table3", help="heterogeneous-BEOL ablation")
+    common(t3_p)
+    t3_p.set_defaults(handler=cmd_table3)
+
+    fp_p = sub.add_parser("floorplans", help="print the Fig. 4 floorplans")
+    common(fp_p)
+    fp_p.set_defaults(handler=cmd_floorplans)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's contribution: the Macro-3D physical design flow.
+
+:func:`repro.core.macro3d.run_flow_macro3d` executes the four steps of
+Fig. 2: dual floorplans, MoL projection with scripted LEF edits, a single
+2D P&R pass on the combined double-die BEOL, and die separation.
+"""
+
+from repro.core.projection import MolProjection, project_mol
+from repro.core.macro3d import run_flow_macro3d
+from repro.core.separation import DieView, separate_dies
+
+__all__ = [
+    "MolProjection",
+    "project_mol",
+    "run_flow_macro3d",
+    "DieView",
+    "separate_dies",
+]

@@ -1,0 +1,137 @@
+"""The Macro-3D flow (paper Sec. IV, Fig. 2).
+
+Four steps:
+
+1. Two same-footprint floorplans, one per die, with the macros placed
+   (:func:`repro.floorplan.macro_placer.place_macros_mol`).
+2. The MoL-projected 2D floorplan plus the combined double-die BEOL —
+   layer renaming, substrate shrinking, superposition
+   (:func:`repro.core.projection.project_mol`).
+3. One standard 2D P&R pass on the projected design.  Because the engine
+   sees the true macro pin layers, the full F2F metal stack and the real
+   free substrate area, its placement, routing and sign-off numbers are
+   *directly valid* for the 3D stack — no tier partitioning, F2F-via
+   planning or incremental re-route follows.
+4. Die separation into the two production views
+   (:func:`repro.core.separation.separate_dies`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.projection import MolProjection, project_mol
+from repro.core.separation import DieView, separate_dies
+from repro.flows.base import (
+    FlowOptions,
+    FlowResult,
+    place_design,
+    route_design,
+    signoff_design,
+    summarize_flow,
+    synthesize_clock,
+)
+from repro.floorplan.macro_placer import MacroPlacerOptions
+from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.tech.presets import hk28, hk28_macro_die
+from repro.tech.technology import Technology
+
+
+def run_flow_macro3d(
+    config: TileConfig,
+    scale: float = 0.05,
+    options: FlowOptions = FlowOptions(),
+    logic_tech: Optional[Technology] = None,
+    macro_tech: Optional[Technology] = None,
+    floorplan_options: MacroPlacerOptions = MacroPlacerOptions(),
+    tile: Optional[Tile] = None,
+) -> FlowResult:
+    """Run the full Macro-3D flow on one tile configuration.
+
+    ``macro_tech`` may have fewer metal layers than ``logic_tech`` — the
+    heterogeneous-BEOL configuration of Table III (M6-M4).
+    """
+    logic = logic_tech or hk28()
+    macro = macro_tech or hk28_macro_die()
+    if tile is None:
+        tile = build_tile(config, scale=scale)
+    netlist = tile.netlist
+
+    # Steps 1-2: dual floorplans, scripted edits, combined BEOL.
+    projection = project_mol(tile, logic, macro, floorplan_options)
+    merged = projection.merged
+    combined = projection.combined
+
+    # Step 3: one standard 2D P&R pass on the projected design.
+    placement, legal, _ports = place_design(
+        netlist, combined, logic.row_height, options
+    )
+    grid, routed, assignment = route_design(
+        netlist,
+        placement,
+        merged.stack,
+        combined,
+        options,
+        merged=merged,
+        technology=logic,
+    )
+    clock_tree = synthesize_clock(
+        netlist,
+        placement,
+        combined,
+        merged.stack,
+        tile.library,
+        options,
+        macro_die_instances=projection.macro_die_instances,
+    )
+    signoff = signoff_design(
+        netlist, tile.library, routed, assignment, logic, clock_tree, options
+    )
+
+    # Step 4: die separation (also validates the layer partition).
+    dies: Dict[str, DieView] = separate_dies(projection, assignment)
+
+    flow_name = (
+        "Macro-3D"
+        if macro.stack.num_routing_layers == logic.stack.num_routing_layers
+        else f"Macro-3D M{logic.stack.num_routing_layers}-"
+        f"M{macro.stack.num_routing_layers}"
+    )
+    summary = summarize_flow(
+        flow=flow_name,
+        design=netlist.name,
+        netlist=netlist,
+        signoff=signoff,
+        clock_tree=clock_tree,
+        routed=routed,
+        assignment=assignment,
+        grid=grid,
+        die_footprint=combined.area,
+        num_dies=2,
+        total_metal_layers=(
+            logic.stack.num_routing_layers + macro.stack.num_routing_layers
+        ),
+        options=options,
+    )
+    summary.extras["logic_die_wirelength_m"] = dies["logic_die"].wirelength / 1e6
+    summary.extras["macro_die_wirelength_m"] = dies["macro_die"].wirelength / 1e6
+    return FlowResult(
+        flow=flow_name,
+        design=netlist.name,
+        floorplans={
+            "combined": combined,
+            "macro_die": projection.macro_die_fp,
+            "logic_die": projection.logic_die_fp,
+        },
+        placement=placement,
+        grid=grid,
+        routed=routed,
+        assignment=assignment,
+        clock_tree=clock_tree,
+        plan=signoff.plan,
+        sta=signoff.sta,
+        power=signoff.power,
+        sizing=signoff.sizing,
+        summary=summary,
+        legalization=legal,
+    )

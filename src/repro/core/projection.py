@@ -1,0 +1,94 @@
+"""Steps 1-2 of Macro-3D: dual floorplans and the MoL-projected 2D view.
+
+Two same-footprint floorplans are built (macro die, logic die); then the
+macro-die macros receive the scripted LEF edits of paper Sec. IV —
+
+- every pin and obstruction layer is renamed with the ``_MD`` suffix so
+  it refers to the macro die's half of the combined BEOL,
+- the substrate footprint is shrunk to one filler cell (commercial tools
+  do not allow zero-area instances), with pin/obstruction (x, y)
+  geometry untouched —
+
+and both floorplans are superimposed into a single 2D floorplan the
+standard P&R engine can consume.  The edit retargets instance masters in
+place; :meth:`MolProjection.restore` undoes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.cells.macro import Macro
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.macro_placer import MacroPlacerOptions, place_macros_mol
+from repro.geom import Rect
+from repro.netlist.openpiton import Tile
+from repro.tech.beol import MACRO_DIE_SUFFIX, MergedBeol, merge_beol
+from repro.tech.technology import Technology
+
+
+@dataclass
+class MolProjection:
+    """The combined 2D view of a MoL stack plus edit bookkeeping."""
+
+    tile: Tile
+    merged: MergedBeol
+    #: The superimposed floorplan handed to the 2D engine.
+    combined: Floorplan
+    #: The per-die floorplans (step 1).
+    macro_die_fp: Floorplan
+    logic_die_fp: Floorplan
+    #: Instances physically living in the macro die.
+    macro_die_instances: Set[str] = field(default_factory=set)
+    #: instance name -> original master (for restore()).
+    originals: Dict[str, Macro] = field(default_factory=dict)
+
+    def restore(self) -> None:
+        """Undo the scripted master edits (rarely needed; flows own tiles)."""
+        for name, master in self.originals.items():
+            self.tile.netlist.instance(name).master = master
+
+
+def project_mol(
+    tile: Tile,
+    logic_tech: Technology,
+    macro_tech: Technology,
+    floorplan_options: MacroPlacerOptions = MacroPlacerOptions(),
+) -> MolProjection:
+    """Build the MoL projection of a tile for the Macro-3D flow."""
+    macro_fp, logic_fp = place_macros_mol(tile, floorplan_options)
+    merged = merge_beol(logic_tech.stack, macro_tech.stack, logic_tech.f2f)
+
+    combined = Floorplan(
+        f"{tile.netlist.name}_mol_projected",
+        logic_fp.outline,
+        logic_fp.utilization,
+    )
+    combined.macro_halo = logic_fp.macro_halo
+
+    # Logic-die macros keep their full substrate footprint.
+    for name, rect in logic_fp.macro_placements.items():
+        combined.place_macro(name, rect)
+
+    # Macro-die macros: scripted LEF edit + filler-sized substrate.
+    projection = MolProjection(
+        tile=tile,
+        merged=merged,
+        combined=combined,
+        macro_die_fp=macro_fp,
+        logic_die_fp=logic_fp,
+    )
+    for name, rect in macro_fp.macro_placements.items():
+        inst = tile.netlist.instance(name)
+        master = inst.master
+        assert isinstance(master, Macro)
+        projection.originals[name] = master
+        edited = master.with_layer_suffix(MACRO_DIE_SUFFIX).with_shrunk_substrate(
+            logic_tech.filler_width, logic_tech.row_height
+        )
+        inst.master = edited
+        substrate = edited.substrate_rect.translated(rect.xlo, rect.ylo)
+        combined.place_macro(name, rect, substrate=substrate)
+        projection.macro_die_instances.add(name)
+    return projection

@@ -1,0 +1,103 @@
+"""Step 4 of Macro-3D: separate the single P&R result into two dies.
+
+The placed-and-routed combined design is split back into per-die views —
+the GDSII generation step of paper Sec. IV.  The logic die keeps all
+substrate objects except the filler-shrunk macros (restored to full size
+in the macro die), the logic-die metal layers and the F2F bumps; the
+macro die gets its macros, the ``_MD`` layers, and the F2F bumps again —
+the ``F2F_VIA`` layer belongs to both output files.
+
+``separate_dies`` also verifies the invariant the whole methodology rests
+on: every routed wire segment lands in exactly one die (or on the bond
+layer), so the union of the two outputs reconstructs the full design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.projection import MolProjection
+from repro.route.layer_assign import LayerAssignment
+from repro.tech.beol import MergedBeol
+
+
+@dataclass
+class DieView:
+    """One die's share of the separated design."""
+
+    name: str
+    #: Routing-layer names present in this die's output.
+    layers: List[str]
+    #: Macro instances physically in this die.
+    macros: List[str]
+    #: Standard-cell instance count (0 for a pure macro die).
+    std_cells: int
+    #: Signal wirelength on this die's layers, um.
+    wirelength: float
+    #: F2F bumps (identical for both dies — the bond is shared).
+    f2f_bumps: int
+
+
+def separate_dies(
+    projection: MolProjection,
+    assignment: LayerAssignment,
+) -> Dict[str, DieView]:
+    """Split a routed Macro-3D design into its two production views."""
+    merged = projection.merged
+    stack = merged.stack
+    routing = stack.routing_layers
+
+    wl_by_die = {"logic": 0.0, "macro": 0.0}
+    for layer_index, length in assignment.wirelength_by_layer.items():
+        name = routing[layer_index].name
+        die = merged.die_of_layer(name)
+        if die == "f2f":
+            raise AssertionError("wire runs cannot sit on the bond layer")
+        wl_by_die[die] += length
+
+    netlist = projection.tile.netlist
+    macro_names = {inst.name for inst in netlist.macros()}
+    macro_die_macros = sorted(projection.macro_die_instances)
+    logic_die_macros = sorted(macro_names - projection.macro_die_instances)
+    total_f2f = assignment.total_f2f
+
+    logic_layers = [
+        layer.name
+        for layer in routing
+        if layer.name in merged.logic_layer_names
+    ]
+    macro_layers = [
+        layer.name
+        for layer in routing
+        if layer.name in merged.macro_layer_names
+    ]
+
+    logic = DieView(
+        name="logic_die",
+        layers=logic_layers + [merged.f2f_cut_name],
+        macros=logic_die_macros,
+        std_cells=len(netlist.std_cells()),
+        wirelength=wl_by_die["logic"],
+        f2f_bumps=total_f2f,
+    )
+    macro = DieView(
+        name="macro_die",
+        layers=macro_layers + [merged.f2f_cut_name],
+        macros=macro_die_macros,
+        std_cells=0,
+        wirelength=wl_by_die["macro"],
+        f2f_bumps=total_f2f,
+    )
+
+    # Invariant: the two views partition the layer set around the bond.
+    shared = set(logic.layers) & set(macro.layers)
+    if shared != {merged.f2f_cut_name}:
+        raise AssertionError(f"dies share layers beyond the bond: {shared}")
+    covered = set(logic.layers) | set(macro.layers)
+    expected = {layer.name for layer in routing} | {merged.f2f_cut_name}
+    if covered != expected:
+        raise AssertionError(
+            f"separation lost layers: {expected - covered}"
+        )
+    return {"logic_die": logic, "macro_die": macro}

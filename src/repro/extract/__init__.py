@@ -1,0 +1,6 @@
+"""Parasitic extraction: per-net RC trees and Elmore delays."""
+
+from repro.extract.elmore import RCTree
+from repro.extract.rc import DesignParasitics, NetRC, extract_design
+
+__all__ = ["RCTree", "DesignParasitics", "NetRC", "extract_design"]

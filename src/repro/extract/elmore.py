@@ -1,0 +1,119 @@
+"""Standalone Elmore delay computation on explicit RC trees.
+
+:mod:`repro.extract.rc` computes Elmore delays inline while walking
+routed nets; this module exposes the same mathematics on an explicit
+tree structure, for analyses that build RC trees directly (what-if
+studies, unit tests, repeater-model validation).
+
+An :class:`RCTree` is built from nodes and resistive branches; every
+node may carry a grounded capacitance.  ``delay_to`` returns the Elmore
+delay from the root to any node::
+
+    tree = RCTree("drv")
+    tree.add_branch("drv", "a", resistance=200.0, capacitance=20.0)
+    tree.add_branch("a", "sink", resistance=100.0, capacitance=10.0)
+    tree.add_cap("sink", 1.2)              # receiver pin
+    tree.delay_to("sink")                  # ps
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.units import rc_to_ps
+
+
+@dataclass
+class _Branch:
+    parent: str
+    child: str
+    resistance: float
+    capacitance: float
+
+
+class RCTree:
+    """A grounded RC tree rooted at the driver node."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self._children: Dict[str, List[_Branch]] = {root: []}
+        self._parent_branch: Dict[str, _Branch] = {}
+        self._node_cap: Dict[str, float] = {root: 0.0}
+
+    # -- construction --------------------------------------------------------
+
+    def add_branch(
+        self,
+        parent: str,
+        child: str,
+        resistance: float,
+        capacitance: float = 0.0,
+    ) -> None:
+        """Add a resistive branch; its wire capacitance is split evenly
+        between the two end nodes (the standard pi segmentation)."""
+        if parent not in self._children:
+            raise KeyError(f"unknown parent node {parent}")
+        if child in self._children:
+            raise ValueError(f"node {child} already exists")
+        if resistance < 0 or capacitance < 0:
+            raise ValueError("branch R/C must be non-negative")
+        branch = _Branch(parent, child, resistance, capacitance)
+        self._children[parent].append(branch)
+        self._children[child] = []
+        self._parent_branch[child] = branch
+        self._node_cap[child] = capacitance / 2.0
+        self._node_cap[parent] += capacitance / 2.0
+
+    def add_cap(self, node: str, capacitance: float) -> None:
+        """Add a grounded capacitance (e.g. a receiver pin) at a node."""
+        if node not in self._children:
+            raise KeyError(f"unknown node {node}")
+        if capacitance < 0:
+            raise ValueError("capacitance must be non-negative")
+        self._node_cap[node] += capacitance
+
+    # -- analysis ----------------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._children)
+
+    def total_capacitance(self) -> float:
+        """The load the driver sees (fF)."""
+        return sum(self._node_cap.values())
+
+    def downstream_capacitance(self, node: str) -> float:
+        """Capacitance at and below ``node`` (fF)."""
+        total = self._node_cap[node]
+        for branch in self._children[node]:
+            total += self.downstream_capacitance(branch.child)
+        return total
+
+    def delay_to(self, node: str, driver_resistance: float = 0.0) -> float:
+        """Elmore delay (ps) from the root to ``node``.
+
+        ``driver_resistance`` adds the driving cell's output resistance,
+        which sees the whole tree capacitance.
+        """
+        if node not in self._children:
+            raise KeyError(f"unknown node {node}")
+        delay = driver_resistance and rc_to_ps(
+            driver_resistance, self.total_capacitance()
+        )
+        delay = delay or 0.0
+        current = node
+        while current != self.root:
+            branch = self._parent_branch[current]
+            delay += rc_to_ps(
+                branch.resistance, self.downstream_capacitance(current)
+            )
+            current = branch.parent
+        return delay
+
+    def delays(self, driver_resistance: float = 0.0) -> Dict[str, float]:
+        """Elmore delay to every node."""
+        return {
+            node: self.delay_to(node, driver_resistance)
+            for node in self._children
+        }

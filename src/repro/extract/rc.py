@@ -1,0 +1,191 @@
+"""Parasitic extraction from global routing.
+
+For every routed net the layer-assigned two-pin edges form an RC tree
+rooted at the driver.  Extraction computes, per sink terminal:
+
+- the Elmore delay from the driver pin (wire only, driver resistance is
+  added by timing, which knows the chosen driver cell),
+- the routed wire length from driver to sink (critical-path wirelength
+  reporting, Table II),
+
+and per net the total wire capacitance, the driver's load, and the pin
+capacitance — i.e. the quantities Table II reports as Cwire/Cpin.
+
+Corners scale wire R and C with the corner's derates, exactly like a
+tch-file-driven extractor re-run per corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.stdcell import PinDirection
+from repro.netlist.core import Instance, Net, Netlist, Port
+from repro.route.global_route import RoutedNet
+from repro.route.layer_assign import AssignedEdge, LayerAssignment
+from repro.tech.corners import Corner
+
+
+@dataclass
+class NetRC:
+    """Extracted view of one net at one corner."""
+
+    net: Net
+    #: Total wire capacitance (fF), vias included.
+    wire_cap: float
+    #: Sink pin capacitance at extraction time (fF); the live value is
+    #: re-read from the netlist so gate sizing is reflected immediately.
+    pin_cap: float
+    #: Wire Elmore delay (ps) from driver pin to each sink term index.
+    elmore: Dict[int, float]
+    #: Routed driver-to-sink wire length (um) per sink term index.
+    sink_wirelength: Dict[int, float]
+    #: Total wire resistance (ohm) along the driver-to-sink path.
+    path_r: Dict[int, float] = field(default_factory=dict)
+    #: Total wire capacitance (fF) along the driver-to-sink path.
+    path_c: Dict[int, float] = field(default_factory=dict)
+    #: Length-weighted fraction of the path over macro substrate, where
+    #: no repeater can be placed.
+    path_blocked: Dict[int, float] = field(default_factory=dict)
+    #: Direct driver-to-sink Manhattan distance (um) — what a dedicated
+    #: buffer tree would span, independent of the shared-tree topology.
+    sink_direct: Dict[int, float] = field(default_factory=dict)
+    #: F2F bumps used by this net.
+    f2f_count: int = 0
+
+    @property
+    def live_pin_cap(self) -> float:
+        """Current sink pin capacitance — tracks master swaps by sizing."""
+        return self.net.total_pin_capacitance()
+
+    @property
+    def driver_load(self) -> float:
+        """Capacitance seen by the driver (wire + sink pins), fF."""
+        return self.wire_cap + self.live_pin_cap
+
+
+@dataclass
+class DesignParasitics:
+    """All nets' extracted RC at one corner."""
+
+    corner: Corner
+    nets: Dict[str, NetRC] = field(default_factory=dict)
+
+    def total_wire_cap(self) -> float:
+        return sum(rc.wire_cap for rc in self.nets.values())
+
+    def total_pin_cap(self) -> float:
+        return sum(rc.live_pin_cap for rc in self.nets.values())
+
+    def total_f2f(self) -> int:
+        return sum(rc.f2f_count for rc in self.nets.values())
+
+
+def _terminal_pin_cap(term: Tuple[object, str]) -> float:
+    obj, pin = term
+    if isinstance(obj, Instance):
+        if obj.pin_direction(pin) is PinDirection.OUTPUT:
+            return 0.0
+        return obj.pin_capacitance(pin)
+    assert isinstance(obj, Port)
+    return obj.capacitance if obj.direction is PinDirection.OUTPUT else 0.0
+
+
+def extract_net(
+    routed: RoutedNet,
+    assigned_edges: List[AssignedEdge],
+    corner: Corner,
+) -> NetRC:
+    """Extract one net's RC tree and Elmore delays at a corner."""
+    net = routed.net
+    n_terms = len(net.terms)
+    children: Dict[int, List[AssignedEdge]] = {}
+    for assigned in assigned_edges:
+        children.setdefault(assigned.edge.source_index, []).append(assigned)
+
+    r_derate = corner.wire_r_derate
+    c_derate = corner.wire_c_derate
+
+    pin_caps = [_terminal_pin_cap(t) for t in net.terms]
+
+    # Downstream capacitance per terminal (wire + pins below it).
+    downstream = list(pin_caps)
+
+    def accumulate(node: int) -> float:
+        total = pin_caps[node]
+        for assigned in children.get(node, []):
+            child = assigned.edge.target_index
+            total += assigned.capacitance * c_derate + accumulate(child)
+        downstream[node] = total
+        return total
+
+    root = routed.driver_index
+    accumulate(root)
+
+    elmore: Dict[int, float] = {root: 0.0}
+    lengths: Dict[int, float] = {root: 0.0}
+    path_r: Dict[int, float] = {root: 0.0}
+    path_c: Dict[int, float] = {root: 0.0}
+    blocked: Dict[int, float] = {root: 0.0}
+
+    def walk(node: int) -> None:
+        for assigned in children.get(node, []):
+            child = assigned.edge.target_index
+            r = assigned.resistance * r_derate
+            c_edge = assigned.capacitance * c_derate
+            # Elmore: edge R drives half its own C plus everything below.
+            delay = r * (c_edge / 2.0 + downstream[child]) * 1.0e-3
+            elmore[child] = elmore[node] + delay
+            lengths[child] = lengths[node] + assigned.edge.length
+            path_r[child] = path_r[node] + r
+            path_c[child] = path_c[node] + c_edge
+            parent_len = lengths[node]
+            child_len = lengths[child]
+            if child_len > 0:
+                blocked[child] = (
+                    blocked[node] * parent_len
+                    + assigned.edge.blocked_fraction * assigned.edge.length
+                ) / child_len
+            else:
+                blocked[child] = blocked[node]
+            walk(child)
+
+    walk(root)
+
+    wire_cap = sum(a.capacitance for a in assigned_edges) * c_derate
+    root_point = routed.points[root]
+    direct = {
+        i: abs(routed.points[i].x - root_point.x)
+        + abs(routed.points[i].y - root_point.y)
+        for i in range(n_terms)
+    }
+    sink_indices = [
+        i for i in range(n_terms) if i != root
+    ]
+    return NetRC(
+        net=net,
+        wire_cap=wire_cap,
+        pin_cap=sum(pin_caps[i] for i in sink_indices),
+        elmore={i: elmore.get(i, 0.0) for i in sink_indices},
+        sink_wirelength={i: lengths.get(i, 0.0) for i in sink_indices},
+        path_r={i: path_r.get(i, 0.0) for i in sink_indices},
+        path_c={i: path_c.get(i, 0.0) for i in sink_indices},
+        path_blocked={i: blocked.get(i, 0.0) for i in sink_indices},
+        sink_direct={i: direct[i] for i in sink_indices},
+        f2f_count=sum(a.f2f_count for a in assigned_edges),
+    )
+
+
+def extract_design(
+    routed_nets: Dict[str, RoutedNet],
+    assignment: LayerAssignment,
+    corner: Corner,
+) -> DesignParasitics:
+    """Extract every routed net at one corner."""
+    design = DesignParasitics(corner=corner)
+    for name, routed in routed_nets.items():
+        design.nets[name] = extract_net(
+            routed, assignment.net_edges(name), corner
+        )
+    return design

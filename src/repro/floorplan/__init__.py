@@ -1,0 +1,25 @@
+"""Floorplanning: outlines, macro placement, placement blockages, IO pins."""
+
+from repro.floorplan.floorplan import Blockage, Floorplan
+from repro.floorplan.macro_placer import (
+    FloorplanStyle,
+    MacroPlacerOptions,
+    balanced_macro_split,
+    footprint_2d,
+    place_macros_2d,
+    place_macros_mol,
+)
+from repro.floorplan.pins import place_ports, validate_alignment
+
+__all__ = [
+    "Blockage",
+    "Floorplan",
+    "FloorplanStyle",
+    "MacroPlacerOptions",
+    "balanced_macro_split",
+    "footprint_2d",
+    "place_macros_2d",
+    "place_macros_mol",
+    "place_ports",
+    "validate_alignment",
+]

@@ -1,0 +1,130 @@
+"""The :class:`Floorplan` object: outline, macro locations, blockages.
+
+A floorplan binds macro instances of a netlist to locations inside an
+outline and records the placement blockages the standard-cell placer must
+respect.  Blockages carry a *density* — the fraction of placement capacity
+they remove — because the S2D/C2D flows rely on partial (50 %) blockages
+to model a macro present in only one die of the future stack (paper
+Sec. III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.geom import Point, Rect
+
+
+@dataclass(frozen=True)
+class Blockage:
+    """A placement blockage: no (or reduced) standard-cell capacity inside.
+
+    Attributes:
+        rect: blocked region.
+        density: fraction of capacity removed; 1.0 is a hard blockage,
+            0.5 the partial blockage S2D/C2D use for single-die macros.
+    """
+
+    rect: Rect
+    density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError(f"blockage density must be in (0, 1], got {self.density}")
+
+
+class Floorplan:
+    """A floorplan for one die (or for a pseudo-2D combined design).
+
+    Attributes:
+        name: floorplan name for reports.
+        outline: die outline; all content must stay inside.
+        utilization: target standard-cell utilization in the free area.
+    """
+
+    def __init__(self, name: str, outline: Rect, utilization: float = 0.72):
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        self.name = name
+        self.outline = outline
+        self.utilization = utilization
+        #: macro instance name -> placed full-extent rect.
+        self.macro_placements: Dict[str, Rect] = {}
+        #: macro instance name -> placed substrate rect (differs from the
+        #: full extent for Macro-3D's filler-shrunk macros).
+        self.substrate_rects: Dict[str, Rect] = {}
+        self.blockages: List[Blockage] = []
+        #: halo in um kept free around each macro substrate.
+        self.macro_halo: float = 2.0
+
+    # -- construction ------------------------------------------------------------
+
+    def place_macro(
+        self,
+        name: str,
+        rect: Rect,
+        substrate: Optional[Rect] = None,
+        blockage_density: float = 1.0,
+    ) -> None:
+        """Pin a macro at ``rect``; its substrate blocks cell placement.
+
+        ``substrate`` defaults to the full rect.  Macro-3D passes the
+        filler-sized substrate so the blocked area nearly vanishes.
+        """
+        if name in self.macro_placements:
+            raise ValueError(f"macro {name} is already placed")
+        if not self.outline.contains_rect(rect, tol=1e-6):
+            raise ValueError(
+                f"macro {name} at {rect} exceeds the outline {self.outline}"
+            )
+        self.macro_placements[name] = rect
+        sub = substrate if substrate is not None else rect
+        self.substrate_rects[name] = sub
+        halo_rect = sub.inflated(self.macro_halo)
+        clipped = halo_rect.intersection(self.outline)
+        if clipped is not None and clipped.area > 0:
+            self.blockages.append(Blockage(clipped, blockage_density))
+
+    def add_blockage(self, rect: Rect, density: float = 1.0) -> None:
+        """Add an explicit placement blockage (S2D/C2D macro projections)."""
+        clipped = rect.intersection(self.outline)
+        if clipped is None:
+            raise ValueError(f"blockage {rect} lies outside the outline")
+        self.blockages.append(Blockage(clipped, density))
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        return self.outline.area
+
+    def blocked_area(self) -> float:
+        """Capacity-weighted blocked area in um2 (overlaps counted once each)."""
+        return sum(b.rect.area * b.density for b in self.blockages)
+
+    def free_area(self) -> float:
+        """Area available to standard cells (never below zero)."""
+        return max(0.0, self.outline.area - self.blocked_area())
+
+    def cell_capacity(self) -> float:
+        """Standard-cell area this floorplan can absorb at target utilization."""
+        return self.free_area() * self.utilization
+
+    def macro_center(self, name: str) -> Point:
+        return self.macro_placements[name].center
+
+    def density_at(self, rect: Rect) -> float:
+        """Average blockage density over ``rect`` (0 = fully free)."""
+        if rect.area == 0:
+            return 0.0
+        blocked = 0.0
+        for blockage in self.blockages:
+            blocked += blockage.rect.overlap_area(rect) * blockage.density
+        return min(1.0, blocked / rect.area)
+
+    def __repr__(self) -> str:
+        return (
+            f"Floorplan({self.name}, outline={self.outline.width:.1f}x"
+            f"{self.outline.height:.1f}um, {len(self.macro_placements)} macros)"
+        )

@@ -1,0 +1,328 @@
+"""Macro placement for the three floorplan styles of the case study.
+
+- :func:`place_macros_2d` — the 2D baseline (Fig. 4 left): memory banks
+  shelf-packed from the top edge downward, largest cache level farthest
+  from the logic region at the bottom.
+- :func:`place_macros_mol` — the MoL 3D style (Fig. 4 right): a pure macro
+  die filled with the memory banks, and a logic die holding the standard
+  cells plus whatever macros prefer — or overflow into — the logic die.
+- :func:`balanced_macro_split` — the "balanced floorplan" (BF) variant the
+  paper builds for S2D, where banks are paired so they overlap in z and
+  most blockages become full blockages (at the price of losing the MoL
+  manufacturing advantages).
+
+Footprints follow the paper's fairness rule: the 2D footprint is sized
+from content, and each 3D die gets exactly half of it, so the same silicon
+area is available in 2D and 3D.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.macro import Macro
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.skyline import SkylinePacker
+from repro.geom import Rect
+from repro.netlist.core import Instance, Netlist
+from repro.netlist.openpiton import LOGIC_DIE, MACRO_DIE, Tile
+
+
+@dataclass(frozen=True)
+class MacroPlacerOptions:
+    """Knobs shared by all floorplan styles."""
+
+    #: Target standard-cell utilization of the free area.
+    utilization: float = 0.72
+    #: Fraction of the outline usable after halos/channels (fill factor).
+    fill_factor: float = 0.88
+    #: Maximum footprint growth tried when the half-size 3D dies cannot
+    #: absorb shelf-packing waste (the paper's floorplans are hand
+    #: optimized; ours recover by growing a few percent instead).
+    max_growth: float = 1.30
+    #: Packing utilization achievable on a pure macro die.
+    macro_pack_util: float = 0.95
+    #: Halo kept free around each macro, um.
+    halo: float = 2.0
+    #: Spacing between packed macros, um.
+    spacing: float = 2.0
+    #: Outline aspect ratio (width / height).
+    aspect: float = 1.0
+    #: Cell-only channel kept free of macros along every die edge, um —
+    #: room for IO registers and repeaters serving the edge pins.
+    io_channel: float = 30.0
+
+
+def _content_area(netlist: Netlist, options: MacroPlacerOptions) -> float:
+    """Silicon content of a design: macros plus cells at target utilization."""
+    return netlist.macro_area() + netlist.std_cell_area() / options.utilization
+
+
+def footprint_2d(netlist: Netlist, options: MacroPlacerOptions = MacroPlacerOptions()) -> Rect:
+    """The 2D die outline sized from content at the configured fill factor."""
+    area = _content_area(netlist, options) / options.fill_factor
+    width = math.sqrt(area * options.aspect)
+    return Rect(0.0, 0.0, width, area / width)
+
+
+def footprint_3d(netlist: Netlist, options: MacroPlacerOptions = MacroPlacerOptions()) -> Rect:
+    """One die of the F2F stack: exactly half the 2D footprint (paper Sec. V)."""
+    fp2d = footprint_2d(netlist, options)
+    return fp2d.scaled(1.0 / math.sqrt(2.0))
+
+
+def _sorted_macros(instances: Sequence[Instance]) -> List[Instance]:
+    """Largest-area first; ties broken by name for determinism."""
+    return sorted(instances, key=lambda inst: (-inst.master.area, inst.name))
+
+
+def _shelf_pack_strict(
+    macros: Sequence[Instance],
+    region: Rect,
+    spacing: float,
+) -> Dict[str, Rect]:
+    """Strict top-down shelf packing: rows of decreasing height.
+
+    No pocket reuse — large banks form clean rows at the top and the
+    small (latency-critical L1) banks end up in the bottom row, adjacent
+    to the logic region, like the hand floorplans of Fig. 4.
+    Raises ValueError when the macros do not fit.
+    """
+    placements: Dict[str, Rect] = {}
+    ordered = sorted(
+        macros, key=lambda inst: (-inst.master.height, -inst.master.area,
+                                  inst.name)
+    )
+    x = region.xlo
+    shelf_top = region.yhi
+    shelf_height = 0.0
+    for inst in ordered:
+        master = inst.master
+        assert isinstance(master, Macro)
+        if x + master.width > region.xhi + 1e-9:
+            shelf_top -= shelf_height + spacing
+            x = region.xlo
+            shelf_height = 0.0
+        rect = Rect(
+            x, shelf_top - master.height, x + master.width, shelf_top
+        )
+        if not region.contains_rect(rect, tol=1e-6):
+            raise ValueError(f"macro {inst.name} overflows the region")
+        placements[inst.name] = rect
+        x += master.width + spacing
+        shelf_height = max(shelf_height, master.height)
+    return placements
+
+
+def _pack_all(
+    macros: Sequence[Instance],
+    region: Rect,
+    spacing: float,
+    from_top: bool = True,
+) -> Dict[str, Rect]:
+    """Skyline-pack macros into ``region``; raises when any does not fit."""
+    packer = SkylinePacker(region, spacing, from_top=from_top)
+    placements: Dict[str, Rect] = {}
+    for inst in _sorted_macros(macros):
+        master = inst.master
+        assert isinstance(master, Macro)
+        rect = packer.try_place(master.width, master.height)
+        if rect is None:
+            raise ValueError(
+                f"macro {inst.name} overflows the region while packing"
+            )
+        placements[inst.name] = rect
+    return placements
+
+
+
+def _with_growth(base: Rect, options: MacroPlacerOptions, build):
+    """Retry ``build(outline)`` with 2 % footprint growth until feasible.
+
+    The paper's floorplans are hand-optimised to exact footprints; ours
+    recover from packing waste by growing both dimensions together.
+    """
+    growth = 1.0
+    last_error: Optional[Exception] = None
+    while growth <= options.max_growth + 1e-9:
+        outline = base.scaled(math.sqrt(growth))
+        try:
+            return build(outline)
+        except ValueError as error:
+            last_error = error
+            growth += 0.02
+    raise ValueError(
+        f"floorplan infeasible even at {options.max_growth:.2f}x growth: "
+        f"{last_error}"
+    )
+
+
+def place_macros_2d(
+    tile: Tile, options: MacroPlacerOptions = MacroPlacerOptions()
+) -> Floorplan:
+    """The 2D baseline floorplan.
+
+    Banks are shelf-packed from the top edge downward in decreasing size,
+    which puts the L3 slice farthest from the logic region — the layout
+    family of Fig. 4(a) and the source of the long flop-to-memory critical
+    paths the paper measures in 2D.
+    """
+    def build(outline: Rect) -> Floorplan:
+        floorplan = Floorplan(
+            f"{tile.netlist.name}_2d", outline, options.utilization
+        )
+        floorplan.macro_halo = options.halo
+        region = outline.inflated(-(options.spacing + options.io_channel))
+        placements = _shelf_pack_strict(
+            tile.netlist.macros(), region, options.spacing
+        )
+        for name, rect in placements.items():
+            floorplan.place_macro(name, rect)
+        _check_cell_capacity(floorplan, tile.netlist)
+        return floorplan
+
+    return _with_growth(footprint_2d(tile.netlist, options), options, build)
+
+
+def place_macros_mol(
+    tile: Tile, options: MacroPlacerOptions = MacroPlacerOptions()
+) -> Tuple[Floorplan, Floorplan]:
+    """The MoL 3D floorplans: (macro die, logic die), equal half footprints.
+
+    Macro-die-preferred banks fill the macro die largest-first until its
+    packing capacity is reached; the remainder joins the logic-die-
+    preferred macros (the L1 arrays) in the logic die, packed along its
+    top edge above the standard-cell area.  When shelf-packing waste makes
+    the exact half footprint infeasible, both dies are grown together in
+    2 % steps up to :attr:`MacroPlacerOptions.max_growth`.
+    """
+    return _with_growth(
+        footprint_3d(tile.netlist, options),
+        options,
+        lambda outline: _place_macros_mol_at(tile, outline, options),
+    )
+
+
+def _place_macros_mol_at(
+    tile: Tile, outline: Rect, options: MacroPlacerOptions
+) -> Tuple[Floorplan, Floorplan]:
+    macro_fp = Floorplan(
+        f"{tile.netlist.name}_macro_die", outline, options.utilization
+    )
+    logic_fp = Floorplan(
+        f"{tile.netlist.name}_logic_die", outline, options.utilization
+    )
+    macro_fp.macro_halo = options.halo
+    logic_fp.macro_halo = options.halo
+
+    region = outline.inflated(-(options.spacing + options.io_channel))
+    macro_packer = SkylinePacker(region, options.spacing, from_top=False)
+    overflow: List[Instance] = []
+    for inst in _sorted_macros(tile.macros_for_die(MACRO_DIE)):
+        master = inst.master
+        assert isinstance(master, Macro)
+        rect = macro_packer.try_place(master.width, master.height)
+        if rect is None:
+            overflow.append(inst)
+        else:
+            macro_fp.place_macro(inst.name, rect)
+
+    # Logic-die macros are packed into a compact top-left block so the
+    # standard-cell region stays one fat contiguous rectangle — spreading
+    # them along the whole top edge would fragment it into thin pockets.
+    logic_die = list(tile.macros_for_die(LOGIC_DIE)) + overflow
+    if logic_die:
+        total = sum(inst.master.area for inst in logic_die)
+        widest = max(inst.master.width for inst in logic_die)
+        block_width = min(
+            region.width, max(widest + options.spacing, math.sqrt(total) * 1.4)
+        )
+        block = Rect(region.xlo, region.ylo, region.xlo + block_width, region.yhi)
+        for name, rect in _pack_all(logic_die, block, options.spacing).items():
+            logic_fp.place_macro(name, rect)
+    _check_cell_capacity(logic_fp, tile.netlist)
+    return macro_fp, logic_fp
+
+
+def balanced_macro_split(
+    tile: Tile, options: MacroPlacerOptions = MacroPlacerOptions()
+) -> Tuple[Floorplan, Floorplan]:
+    """The balanced floorplan (BF) for S2D: maximise macro z-overlap.
+
+    Identically-sized banks are paired and placed at the same (x, y) in
+    the two dies, so the S2D pseudo design sees mostly *full* blockages,
+    which is the best case for the prior flows (paper Sec. V-A).  The MoL
+    manufacturing advantage is lost: both dies mix macros with the logic
+    BEOL, so neither die is a pure macro die.
+    """
+    return _with_growth(
+        footprint_3d(tile.netlist, options),
+        options,
+        lambda outline: _balanced_macro_split_at(tile, outline, options),
+    )
+
+
+def _balanced_macro_split_at(
+    tile: Tile, outline: Rect, options: MacroPlacerOptions
+) -> Tuple[Floorplan, Floorplan]:
+    die_a = Floorplan(f"{tile.netlist.name}_bf_die_a", outline, options.utilization)
+    die_b = Floorplan(f"{tile.netlist.name}_bf_die_b", outline, options.utilization)
+    die_a.macro_halo = options.halo
+    die_b.macro_halo = options.halo
+
+    # Pair identical banks; leftovers alternate to balance area.
+    by_shape: Dict[Tuple[float, float], List[Instance]] = {}
+    for inst in _sorted_macros(tile.netlist.macros()):
+        master = inst.master
+        by_shape.setdefault((master.width, master.height), []).append(inst)
+
+    paired: List[Tuple[Instance, Instance]] = []
+    leftovers: List[Instance] = []
+    for shape_instances in by_shape.values():
+        while len(shape_instances) >= 2:
+            paired.append((shape_instances.pop(), shape_instances.pop()))
+        leftovers.extend(shape_instances)
+
+    region = outline.inflated(-(options.spacing + options.io_channel))
+    pair_anchor = [pair[0] for pair in paired]
+    placements = _pack_all(pair_anchor + leftovers, region, options.spacing)
+
+    loads = [0.0, 0.0]
+    dies = [die_a, die_b]
+    for first, second in paired:
+        rect = placements[first.name]
+        die_a.place_macro(first.name, rect)
+        die_b.place_macro(second.name, rect)
+        loads[0] += first.master.area
+        loads[1] += second.master.area
+    for inst in leftovers:
+        target = 0 if loads[0] <= loads[1] else 1
+        dies[target].place_macro(inst.name, placements[inst.name])
+        loads[target] += inst.master.area
+    return die_a, die_b
+
+
+class FloorplanStyle:
+    """Names of the floorplan styles, for reports and flow options."""
+
+    FLAT_2D = "2d"
+    MOL = "mol"
+    BALANCED = "balanced"
+
+
+def _check_cell_capacity(floorplan: Floorplan, netlist: Netlist) -> None:
+    """Ensure the floorplan can absorb the standard-cell area.
+
+    An 8 % headroom is required — placements packed right up to capacity
+    lose all freedom to cluster by connectivity and their wirelength
+    degrades sharply, which no competent floorplanner would accept.
+    """
+    need = netlist.std_cell_area() * 1.08
+    have = floorplan.cell_capacity()
+    if need > have:
+        raise ValueError(
+            f"floorplan {floorplan.name}: standard cells need {need:.0f} um2 "
+            f"but only {have:.0f} um2 of capacity is available"
+        )

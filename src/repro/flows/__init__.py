@@ -1,0 +1,18 @@
+"""Physical design flows: the 2D baseline and the prior 3D flows.
+
+The Macro-3D flow itself lives in :mod:`repro.core` — it is the paper's
+contribution; these are the designs it is compared against.
+"""
+
+from repro.flows.base import FlowOptions, FlowResult
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.flows.compact2d import run_flow_c2d
+
+__all__ = [
+    "FlowOptions",
+    "FlowResult",
+    "run_flow_2d",
+    "run_flow_s2d",
+    "run_flow_c2d",
+]

@@ -1,0 +1,329 @@
+"""Shared flow machinery: stages, sign-off, and result packaging.
+
+Every flow is a composition of the same stages — floorplan, place,
+route, layer-assign, CTS, extract, optimize, STA, power — differing only
+in *which geometry and parasitics each stage is shown*.  That difference
+is the entire story of the paper:
+
+- 2D and Macro-3D optimize against the same parasitics they are signed
+  off with (``believed is None``).
+- S2D optimizes against the shrunk pseudo design and is signed off on
+  the real stack with those choices frozen (``believed=pseudo``).
+- C2D re-optimizes once after tier partitioning (``post_opt=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cells.library import StdCellLibrary
+from repro.cells.macro import Macro
+from repro.extract.rc import DesignParasitics, extract_design
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.pins import place_ports, validate_alignment
+from repro.geom import Point, Rect
+from repro.metrics.ppa import PPASummary
+from repro.netlist.core import Instance, Netlist
+from repro.opt.buffering import BufferPlan, plan_buffers
+from repro.opt.sizing import SizingResult, size_for_load, size_for_timing
+from repro.place.global_place import GlobalPlacerOptions, Placement, global_place
+from repro.place.detailed import refine_placement
+from repro.place.legalize import LegalizeResult, legalize
+from repro.place.regions import allocate_module_regions
+from repro.power.power import PowerReport, analyze_power
+from repro.route.global_route import GlobalRouter, RoutedNet, RouterOptions
+from repro.route.grid import RoutingGrid, RoutingGridOptions
+from repro.route.layer_assign import LayerAssigner, LayerAssignment
+from repro.tech.beol import MergedBeol
+from repro.tech.layers import LayerStack
+from repro.tech.technology import Technology
+from repro.timing.clock_tree import ClockTree, ClockTreeOptions, synthesize_clock_tree
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import StaResult, run_sta
+from repro.units import mhz_to_period, um2_to_mm2
+
+
+@dataclass(frozen=True)
+class FlowOptions:
+    """Knobs shared by all flows."""
+
+    placer: GlobalPlacerOptions = GlobalPlacerOptions()
+    router: RouterOptions = RouterOptions()
+    grid: RoutingGridOptions = RoutingGridOptions()
+    cts: ClockTreeOptions = ClockTreeOptions()
+    constraints: TimingConstraints = TimingConstraints()
+    sizing_iterations: int = 25
+    #: When set, the flow stops optimizing once this frequency closes and
+    #: reports power there — the paper's iso-performance comparison.
+    target_frequency_mhz: Optional[float] = None
+
+
+@dataclass
+class FlowResult:
+    """Everything a flow produces, ready for metrics and inspection."""
+
+    flow: str
+    design: str
+    floorplans: Dict[str, Floorplan]
+    placement: Placement
+    grid: RoutingGrid
+    routed: Dict[str, RoutedNet]
+    assignment: LayerAssignment
+    clock_tree: ClockTree
+    plan: BufferPlan
+    sta: StaResult
+    power: PowerReport
+    sizing: SizingResult
+    summary: PPASummary
+    #: Legalization quality (for the S2D/C2D overlap-fix analysis).
+    legalization: Optional[LegalizeResult] = None
+    #: F2F bumps added outside routing (planner bumps, clock bumps).
+    extra_f2f: int = 0
+
+
+# -- stages --------------------------------------------------------------------------
+
+
+def place_design(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    row_height: float,
+    options: FlowOptions,
+) -> Tuple[Placement, LegalizeResult, Dict[str, Point]]:
+    """Global placement + legalization; returns placement and port sites."""
+    ports = place_ports(netlist, floorplan.outline)
+    violations = validate_alignment(netlist, ports)
+    if violations:
+        raise ValueError(f"IO alignment violations: {violations[:3]}")
+    anchors = allocate_module_regions(netlist, floorplan)
+    rough = global_place(netlist, floorplan, ports, options.placer, anchors)
+    legal = legalize(rough, row_height)
+    refine_placement(legal.placement)
+    return legal.placement, legal, ports
+
+
+def apply_macro_obstructions(
+    grid: RoutingGrid, floorplan: Floorplan, netlist: Netlist,
+    fraction: float = 1.0,
+) -> None:
+    """Block routing layers under every placed macro's obstructions.
+
+    ``fraction`` < 1 models the pseudo designs of S2D/C2D, where a macro
+    occupies only one die of the future stack and therefore blocks only
+    half of the (single-BEOL) routing estimate.
+    """
+    for name, rect in floorplan.macro_placements.items():
+        inst = netlist.instance(name)
+        master = inst.master
+        assert isinstance(master, Macro)
+        for obs in master.obstructions:
+            grid.block_layer(
+                obs.layer, obs.rect.translated(rect.xlo, rect.ylo), fraction
+            )
+
+
+def route_design(
+    netlist: Netlist,
+    placement: Placement,
+    stack: LayerStack,
+    floorplan: Floorplan,
+    options: FlowOptions,
+    merged: Optional[MergedBeol] = None,
+    technology: Optional[Technology] = None,
+    die1_cells: Optional[Set[str]] = None,
+    obstruction_fraction: float = 1.0,
+) -> Tuple[RoutingGrid, Dict[str, RoutedNet], LayerAssignment]:
+    """Global routing plus layer assignment on the given stack."""
+    f2f = technology.f2f if (merged is not None and technology) else None
+    grid = RoutingGrid(stack, floorplan.outline, options.grid, merged, f2f)
+    apply_macro_obstructions(grid, floorplan, netlist, obstruction_fraction)
+    for blockage in floorplan.blockages:
+        grid.block_substrate(blockage.rect, blockage.density)
+    router = GlobalRouter(netlist, placement, grid, options.router)
+    routed = router.run()
+    assignment = LayerAssigner(grid, die1_cells).run(routed)
+    return grid, routed, assignment
+
+
+def synthesize_clock(
+    netlist: Netlist,
+    placement: Placement,
+    floorplan: Floorplan,
+    stack: LayerStack,
+    library: StdCellLibrary,
+    options: FlowOptions,
+    macro_die_instances: Optional[Set[str]] = None,
+) -> ClockTree:
+    """Run the CTS model over every clocked pin of the design."""
+    macro_die_instances = macro_die_instances or set()
+    sinks: List[Point] = []
+    caps: List[float] = []
+    macro_die_sinks = 0
+    for net in netlist.clock_nets():
+        for term in net.terms:
+            if term is net.driver:
+                continue
+            obj, pin = term
+            if not isinstance(obj, Instance):
+                continue
+            sinks.append(placement.term_position(term))
+            caps.append(obj.pin_capacitance(pin))
+            if obj.name in macro_die_instances:
+                macro_die_sinks += 1
+    avg_cap = sum(caps) / len(caps) if caps else 1.0
+    # Clock trunks run on the top logic-die metal.
+    clock_layer = stack.routing_layers[-1]
+    if any(l.name == "M6" for l in stack.routing_layers):
+        clock_layer = stack.routing_layer("M6")
+    return synthesize_clock_tree(
+        sinks,
+        avg_cap,
+        floorplan.outline,
+        clock_layer,
+        library,
+        macro_die_sinks=macro_die_sinks,
+        options=options.cts,
+    )
+
+
+@dataclass
+class Signoff:
+    """Extraction + optimization + STA + power in one bundle."""
+
+    slow: DesignParasitics
+    typical: DesignParasitics
+    plan: BufferPlan
+    sizing: SizingResult
+    sta: StaResult
+    power: PowerReport
+    constraints: TimingConstraints
+
+
+def signoff_design(
+    netlist: Netlist,
+    library: StdCellLibrary,
+    routed: Dict[str, RoutedNet],
+    assignment: LayerAssignment,
+    technology: Technology,
+    clock_tree: ClockTree,
+    options: FlowOptions,
+    believed: Optional[DesignParasitics] = None,
+    post_opt: bool = False,
+) -> Signoff:
+    """Optimize and sign off a routed design.
+
+    ``believed`` is the parasitic view the optimization trusts (the
+    pseudo design for S2D/C2D); sign-off always uses the real extraction.
+    ``post_opt`` re-optimizes once on the real parasitics (C2D).
+    """
+    corners = technology.corners
+    slow = extract_design(routed, assignment, corners.slowest)
+    typical = extract_design(routed, assignment, corners.typical)
+    constraints = options.constraints.with_skew(clock_tree.skew)
+    graph = TimingGraph(netlist)
+    target_period = (
+        mhz_to_period(options.target_frequency_mhz)
+        if options.target_frequency_mhz
+        else None
+    )
+
+    opt_view = believed if believed is not None else slow
+    size_for_load(netlist, opt_view, library)
+    plan = plan_buffers(opt_view, library)
+    sizing = size_for_timing(
+        netlist, graph, opt_view, plan, constraints, library,
+        max_iterations=options.sizing_iterations,
+        target_period=target_period,
+    )
+    if believed is None:
+        sta = sizing.sta
+    elif post_opt:
+        size_for_load(netlist, slow, library)
+        plan = plan_buffers(slow, library)
+        sizing = size_for_timing(
+            netlist, graph, slow, plan, constraints, library,
+            max_iterations=options.sizing_iterations,
+            target_period=target_period,
+        )
+        sta = sizing.sta
+    else:
+        sta = run_sta(graph, slow, plan, constraints)
+    power = analyze_power(netlist, typical, plan, clock_tree, constraints)
+    return Signoff(slow, typical, plan, sizing, sta, power, constraints)
+
+
+# -- summary -----------------------------------------------------------------------------
+
+
+def summarize_flow(
+    flow: str,
+    design: str,
+    netlist: Netlist,
+    signoff: Signoff,
+    clock_tree: ClockTree,
+    routed: Dict[str, RoutedNet],
+    assignment: LayerAssignment,
+    grid: RoutingGrid,
+    die_footprint: float,
+    num_dies: int,
+    total_metal_layers: int,
+    options: FlowOptions,
+    extra_f2f: int = 0,
+) -> PPASummary:
+    """Assemble the paper-style PPA summary of one flow run."""
+    fclk = (
+        options.target_frequency_mhz
+        if options.target_frequency_mhz
+        else signoff.sta.fmax_mhz
+    )
+    if options.target_frequency_mhz and signoff.sta.fmax_mhz < fclk - 1e-6:
+        raise ValueError(
+            f"{flow}: target {fclk} MHz not met (fmax {signoff.sta.fmax_mhz:.1f})"
+        )
+    signal_wl = sum(r.wirelength for r in routed.values())
+    total_wl = signal_wl + clock_tree.wirelength
+    logic_area = (
+        netlist.std_cell_area()
+        + signoff.plan.added_area()
+        + clock_tree.buffer_area
+    )
+    crit_wl = (
+        signoff.sta.critical.wirelength / 1000.0 if signoff.sta.critical else 0.0
+    )
+    cpin = (
+        signoff.typical.total_pin_cap()
+        + signoff.plan.added_pin_cap()
+    )
+    detour = 1.0
+    direct = sum(
+        sum(
+            abs(r.points[e.source_index].x - r.points[e.target_index].x)
+            + abs(r.points[e.source_index].y - r.points[e.target_index].y)
+            for e in r.edges
+        )
+        for r in routed.values()
+    )
+    if direct > 0:
+        detour = signal_wl / direct
+    return PPASummary(
+        flow=flow,
+        design=design,
+        fclk_mhz=fclk,
+        emean_fj=signoff.power.emean(fclk),
+        footprint_mm2=um2_to_mm2(die_footprint),
+        silicon_mm2=um2_to_mm2(die_footprint * num_dies),
+        logic_cell_area_mm2=um2_to_mm2(logic_area),
+        total_wirelength_m=total_wl / 1.0e6,
+        f2f_bumps=assignment.total_f2f + clock_tree.f2f_count + extra_f2f,
+        cpin_nf=cpin / 1.0e6,
+        cwire_nf=signoff.typical.total_wire_cap() / 1.0e6,
+        clock_depth=clock_tree.depth,
+        crit_path_wl_mm=crit_wl,
+        metal_area_mm2=um2_to_mm2(die_footprint) * total_metal_layers,
+        routing_overflow=grid.overflow_2d(),
+        detour_factor=detour,
+        num_repeaters=signoff.plan.num_repeaters,
+        power_uw=signoff.power.total_power_uw(fclk),
+    )

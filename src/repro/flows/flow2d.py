@@ -1,0 +1,88 @@
+"""The 2D baseline flow.
+
+Everything on one die: macros ringed around the standard-cell region
+(Fig. 4 left), a single six-metal BEOL, no F2F anything.  This is the
+reference every 3D flow is measured against in Tables I and II.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.flows.base import (
+    FlowOptions,
+    FlowResult,
+    place_design,
+    route_design,
+    signoff_design,
+    summarize_flow,
+    synthesize_clock,
+)
+from repro.floorplan.macro_placer import MacroPlacerOptions, place_macros_2d
+from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.tech.presets import hk28
+from repro.tech.technology import Technology
+
+
+def run_flow_2d(
+    config: TileConfig,
+    scale: float = 0.05,
+    options: FlowOptions = FlowOptions(),
+    technology: Optional[Technology] = None,
+    floorplan_options: MacroPlacerOptions = MacroPlacerOptions(),
+    tile: Optional[Tile] = None,
+) -> FlowResult:
+    """Run the complete 2D reference flow on one tile configuration.
+
+    A fresh tile is built unless one is supplied; flows mutate instance
+    masters during optimization, so a tile must not be shared between
+    flow runs.
+    """
+    tech = technology or hk28()
+    if tile is None:
+        tile = build_tile(config, scale=scale)
+    netlist = tile.netlist
+
+    floorplan = place_macros_2d(tile, floorplan_options)
+    placement, legal, _ports = place_design(
+        netlist, floorplan, tech.row_height, options
+    )
+    grid, routed, assignment = route_design(
+        netlist, placement, tech.stack, floorplan, options
+    )
+    clock_tree = synthesize_clock(
+        netlist, placement, floorplan, tech.stack, tile.library, options
+    )
+    signoff = signoff_design(
+        netlist, tile.library, routed, assignment, tech, clock_tree, options
+    )
+    summary = summarize_flow(
+        flow="2D",
+        design=netlist.name,
+        netlist=netlist,
+        signoff=signoff,
+        clock_tree=clock_tree,
+        routed=routed,
+        assignment=assignment,
+        grid=grid,
+        die_footprint=floorplan.area,
+        num_dies=1,
+        total_metal_layers=tech.stack.num_routing_layers,
+        options=options,
+    )
+    return FlowResult(
+        flow="2D",
+        design=netlist.name,
+        floorplans={"die": floorplan},
+        placement=placement,
+        grid=grid,
+        routed=routed,
+        assignment=assignment,
+        clock_tree=clock_tree,
+        plan=signoff.plan,
+        sta=signoff.sta,
+        power=signoff.power,
+        sizing=signoff.sizing,
+        summary=summary,
+        legalization=legal,
+    )

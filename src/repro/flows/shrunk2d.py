@@ -1,0 +1,112 @@
+"""The Shrunk-2D (S2D) baseline flow [Panth et al., TCAD 2017].
+
+Stage 1 (pseudo design): every standard cell is shrunk to half area
+(1/sqrt(2) per dimension) so the whole design fits the final two-die
+footprint; floorplanned macros become placement blockages — 50 % where a
+macro occupies one die at that (x, y), accumulating to 100 % where both
+dies hold one.  The shrunk design is placed and routed with one die's
+BEOL, and all optimization (repeaters, sizing) trusts this pseudo
+extraction.
+
+Stage 2: tier partitioning (classic area-balanced min-cut — S2D was
+built for homogeneous stacks), cell unshrinking, per-die overlap fixing,
+F2F via planning, and a full re-route on the true merged BEOL.  Nothing
+is re-optimized: S2D has no post-tier-partitioning optimization, which
+is one of the drawbacks C2D later addressed.
+
+``balanced=True`` uses the paper's balanced floorplan (BF) variant, in
+which identically-shaped banks overlap in z so most blockages are full —
+the best case for this flow, at the cost of the MoL manufacturing
+advantages.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.extract.rc import extract_design
+from repro.flows.base import FlowOptions, FlowResult, place_design, route_design
+from repro.flows.pseudo_common import (
+    finalize_two_die,
+    pseudo_floorplan,
+    restore_std_cells,
+    shrink_std_cells,
+)
+from repro.floorplan.macro_placer import (
+    MacroPlacerOptions,
+    balanced_macro_split,
+    place_macros_mol,
+)
+from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.tech.presets import hk28, hk28_macro_die
+from repro.tech.technology import Technology
+
+#: Linear shrink factor: 50 % area.
+SHRINK = 1.0 / math.sqrt(2.0)
+
+
+def run_flow_s2d(
+    config: TileConfig,
+    scale: float = 0.05,
+    options: FlowOptions = FlowOptions(),
+    balanced: bool = False,
+    partition_mode: str = "area",
+    logic_tech: Optional[Technology] = None,
+    macro_tech: Optional[Technology] = None,
+    floorplan_options: MacroPlacerOptions = MacroPlacerOptions(),
+    tile: Optional[Tile] = None,
+) -> FlowResult:
+    """Run the S2D flow; ``balanced`` selects the BF floorplan variant."""
+    logic = logic_tech or hk28()
+    macro = macro_tech or hk28_macro_die()
+    if tile is None:
+        tile = build_tile(config, scale=scale)
+    netlist = tile.netlist
+
+    if balanced:
+        die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
+        flow_name = "BF S2D"
+    else:
+        die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
+        flow_name = "MoL S2D"
+
+    # -- stage 1: the shrunk pseudo design ------------------------------------
+    pseudo_fp = pseudo_floorplan(
+        f"{netlist.name}_s2d_pseudo",
+        die0_fp.outline,
+        die0_fp,
+        die1_fp,
+        die0_fp.utilization,
+    )
+    originals = shrink_std_cells(netlist, SHRINK)
+    pseudo_placement, _legal, _ports = place_design(
+        netlist, pseudo_fp, logic.row_height * SHRINK, options
+    )
+    # Pseudo routing sees one die's BEOL; macros obstruct it at 50 %
+    # (each macro exists in only one die of the future stack).
+    _grid, pseudo_routed, pseudo_assignment = route_design(
+        netlist, pseudo_placement, logic.stack, pseudo_fp, options,
+        obstruction_fraction=0.5,
+    )
+    believed = extract_design(
+        pseudo_routed, pseudo_assignment, logic.corners.slowest
+    )
+    restore_std_cells(netlist, originals)
+
+    # -- stage 2: partition, fix overlaps, plan bumps, re-route, sign off ------
+    final = finalize_two_die(
+        flow_name,
+        tile,
+        logic,
+        macro,
+        die0_fp,
+        die1_fp,
+        pseudo_placement,
+        believed,
+        options,
+        partition_mode=partition_mode,
+        post_opt=False,
+    )
+    return final.result
+

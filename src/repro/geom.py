@@ -1,0 +1,247 @@
+"""Planar geometry primitives shared by floorplanning, placement and routing.
+
+Coordinates are in micrometres (see :mod:`repro.units`).  ``Rect`` is the
+workhorse: floorplan outlines, macro footprints, placement blockages, pin
+shapes and GCell tiles are all rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An (x, y) location in micrometres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_to(self, other: "Point") -> float:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy moved by (dx, dy)."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return a copy with both coordinates multiplied by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle defined by its lower-left / upper-right corners.
+
+    Degenerate rectangles (zero width or height) are permitted — pin shapes
+    collapsed onto a track are modelled that way — but negative extents are
+    rejected.
+    """
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xhi < self.xlo or self.yhi < self.ylo:
+            raise ValueError(
+                f"invalid rect extents ({self.xlo}, {self.ylo}, {self.xhi}, {self.yhi})"
+            )
+
+    # -- basic measures ----------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        return self.yhi - self.ylo
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xlo + self.xhi) / 2.0, (self.ylo + self.yhi) / 2.0)
+
+    @property
+    def half_perimeter(self) -> float:
+        return self.width + self.height
+
+    # -- predicates ----------------------------------------------------------
+
+    def contains_point(self, point: Point, tol: float = 0.0) -> bool:
+        """True if ``point`` lies inside or on the boundary (within ``tol``)."""
+        return (
+            self.xlo - tol <= point.x <= self.xhi + tol
+            and self.ylo - tol <= point.y <= self.yhi + tol
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = 0.0) -> bool:
+        """True if ``other`` lies fully inside this rectangle (within ``tol``)."""
+        return (
+            self.xlo - tol <= other.xlo
+            and self.ylo - tol <= other.ylo
+            and other.xhi <= self.xhi + tol
+            and other.yhi <= self.yhi + tol
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True if the two rectangles share interior area (touching edges do not count)."""
+        return (
+            self.xlo < other.xhi
+            and other.xlo < self.xhi
+            and self.ylo < other.yhi
+            and other.ylo < self.yhi
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping region, or None when the rectangles do not overlap."""
+        xlo = max(self.xlo, other.xlo)
+        ylo = max(self.ylo, other.ylo)
+        xhi = min(self.xhi, other.xhi)
+        yhi = min(self.yhi, other.yhi)
+        if xhi <= xlo or yhi <= ylo:
+            return None
+        return Rect(xlo, ylo, xhi, yhi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the overlapping region (0.0 when disjoint)."""
+        region = self.intersection(other)
+        return region.area if region is not None else 0.0
+
+    # -- constructions -------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Return a copy moved by (dx, dy)."""
+        return Rect(self.xlo + dx, self.ylo + dy, self.xhi + dx, self.yhi + dy)
+
+    def scaled(self, factor: float) -> "Rect":
+        """Return a copy with all coordinates multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return Rect(
+            self.xlo * factor, self.ylo * factor, self.xhi * factor, self.yhi * factor
+        )
+
+    def inflated(self, margin: float) -> "Rect":
+        """Return a copy grown by ``margin`` on every side (negative shrinks)."""
+        rect = Rect(
+            self.xlo - margin,
+            self.ylo - margin,
+            self.xhi + margin,
+            self.yhi + margin,
+        )
+        return rect
+
+    def moved_to(self, xlo: float, ylo: float) -> "Rect":
+        """Return a copy with the lower-left corner at (xlo, ylo), same size."""
+        return Rect(xlo, ylo, xlo + self.width, ylo + self.height)
+
+    def clamped_into(self, outline: "Rect") -> "Rect":
+        """Return a copy shifted (not resized) so it fits inside ``outline``.
+
+        Raises ValueError when this rectangle is larger than the outline in
+        either dimension.
+        """
+        if self.width > outline.width or self.height > outline.height:
+            raise ValueError("rect does not fit into outline")
+        xlo = min(max(self.xlo, outline.xlo), outline.xhi - self.width)
+        ylo = min(max(self.ylo, outline.ylo), outline.yhi - self.height)
+        return self.moved_to(xlo, ylo)
+
+    @staticmethod
+    def from_center(center: Point, width: float, height: float) -> "Rect":
+        """Build a rectangle of the given size centred at ``center``."""
+        return Rect(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            center.x + width / 2.0,
+            center.y + height / 2.0,
+        )
+
+    @staticmethod
+    def bounding(rects: Iterable["Rect"]) -> "Rect":
+        """The bounding box of a non-empty collection of rectangles."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("cannot bound an empty collection")
+        return Rect(
+            min(r.xlo for r in rects),
+            min(r.ylo for r in rects),
+            max(r.xhi for r in rects),
+            max(r.yhi for r in rects),
+        )
+
+
+def bounding_box_of_points(points: Iterable[Point]) -> Rect:
+    """The bounding box of a non-empty collection of points."""
+    points = list(points)
+    if not points:
+        raise ValueError("cannot bound an empty collection")
+    return Rect(
+        min(p.x for p in points),
+        min(p.y for p in points),
+        max(p.x for p in points),
+        max(p.y for p in points),
+    )
+
+
+def hpwl(points: Iterable[Point]) -> float:
+    """Half-perimeter wirelength of a point set (0.0 for fewer than two points)."""
+    points = list(points)
+    if len(points) < 2:
+        return 0.0
+    return bounding_box_of_points(points).half_perimeter
+
+
+def total_overlap_area(rects: List[Rect]) -> float:
+    """Sum of pairwise overlap areas — a legality measure for placements.
+
+    Quadratic in the number of rectangles after an x-sorted sweep prune;
+    intended for macro counts (tens), not standard-cell counts.
+    """
+    ordered = sorted(rects, key=lambda r: r.xlo)
+    overlap = 0.0
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            if b.xlo >= a.xhi:
+                break
+            overlap += a.overlap_area(b)
+    return overlap
+
+
+def pack_rows(
+    widths: List[float],
+    height: float,
+    outline: Rect,
+    spacing: float = 0.0,
+) -> Iterator[Rect]:
+    """Greedy left-to-right, bottom-to-top shelf packing of equal-height items.
+
+    Yields one rectangle per entry of ``widths`` in order.  Raises
+    ValueError when an item cannot fit in a fresh row or the outline
+    overflows vertically.
+    """
+    x = outline.xlo
+    y = outline.ylo
+    for width in widths:
+        if width > outline.width:
+            raise ValueError(f"item of width {width} exceeds outline width")
+        if x + width > outline.xhi:
+            x = outline.xlo
+            y += height + spacing
+        if y + height > outline.yhi:
+            raise ValueError("items overflow the outline vertically")
+        yield Rect(x, y, x + width, y + height)
+        x += width + spacing

@@ -1,0 +1,24 @@
+"""File-level views: LEF-like macro abstracts, tch-like parasitic decks,
+DEF-like placement/routing dumps.
+
+The Macro-3D contribution is partly *file-level* — scripted LEF edits,
+a combined techlef/tch deck, per-die GDS output — so the library ships
+writers/parsers for compact textual equivalents of those formats.  They
+are not the IEEE formats (no proprietary data could be consumed anyway);
+they are line-oriented, diffable, and round-trip exactly.
+"""
+
+from repro.io.lef import edit_lef_for_macro_die, parse_lef, write_lef
+from repro.io.techfile import parse_techfile, write_techfile
+from repro.io.def_io import write_def, write_density_map, write_floorplan_map
+
+__all__ = [
+    "edit_lef_for_macro_die",
+    "parse_lef",
+    "write_lef",
+    "parse_techfile",
+    "write_techfile",
+    "write_def",
+    "write_density_map",
+    "write_floorplan_map",
+]

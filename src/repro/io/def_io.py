@@ -1,0 +1,125 @@
+"""DEF-like placement/routing dumps and layout density maps.
+
+``write_def`` emits a diffable text snapshot of a placed-and-routed
+design (components, macro locations, per-net routed wirelength).
+``write_density_map`` renders the ASCII placement/density views the
+Figure-5/6 benches print — the closest textual equivalent of the paper's
+layout plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.floorplan.floorplan import Floorplan
+from repro.place.global_place import Placement
+from repro.route.global_route import RoutedNet
+
+#: Glyph ramp for density maps, light to dark.
+_RAMP = " .:-=+*#%@"
+
+
+def write_def(
+    design: str,
+    placement: Placement,
+    routed: Optional[Dict[str, RoutedNet]] = None,
+) -> str:
+    """Serialise a placement (and routed net lengths) to DEF-like text."""
+    floorplan = placement.floorplan
+    outline = floorplan.outline
+    lines: List[str] = [f"DESIGN {design}"]
+    lines.append(
+        f"DIEAREA {outline.xlo:.3f} {outline.ylo:.3f} "
+        f"{outline.xhi:.3f} {outline.yhi:.3f}"
+    )
+    lines.append(f"COMPONENTS {placement.netlist.num_instances}")
+    for inst in placement.netlist.instances:
+        kind = "MACRO" if inst.is_macro else "CELL"
+        fixed = "FIXED" if not placement.movable[inst.id] else "PLACED"
+        lines.append(
+            f"  {kind} {inst.name} {inst.master.name} {fixed} "
+            f"{placement.x[inst.id]:.3f} {placement.y[inst.id]:.3f}"
+        )
+    lines.append("END COMPONENTS")
+    if routed is not None:
+        lines.append(f"NETS {len(routed)}")
+        for name in sorted(routed):
+            net = routed[name]
+            lines.append(
+                f"  NET {name} DEGREE {net.net.degree} "
+                f"WIRELENGTH {net.wirelength:.3f}"
+            )
+        lines.append("END NETS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+def write_floorplan_map(
+    floorplan: Floorplan,
+    rows: int = 16,
+    cols: int = 40,
+) -> str:
+    """ASCII macro map of a floorplan (no placement needed)."""
+    outline = floorplan.outline
+    grid = [[" "] * cols for _ in range(rows)]
+    for _name, rect in floorplan.macro_placements.items():
+        c0 = int((rect.xlo - outline.xlo) / outline.width * cols)
+        c1 = int((rect.xhi - outline.xlo) / outline.width * cols)
+        r0 = int((1.0 - (rect.yhi - outline.ylo) / outline.height) * rows)
+        r1 = int((1.0 - (rect.ylo - outline.ylo) / outline.height) * rows)
+        for r in range(max(0, r0), min(rows, r1 + 1)):
+            for c in range(max(0, c0), min(cols, c1 + 1)):
+                grid[r][c] = "M"
+    border = "+" + "-" * cols + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}\n"
+
+
+def write_density_map(
+    placement: Placement,
+    rows: int = 24,
+    cols: int = 48,
+    include_macros: bool = True,
+    macro_names: Optional[set] = None,
+) -> str:
+    """ASCII cell-density map of a placement.
+
+    Macros render as ``M`` blocks (restricted to ``macro_names`` when
+    given — e.g. only one die's macros), standard cells as a density
+    ramp.  Row 0 is the top of the die, like a plotted layout.
+    """
+    floorplan = placement.floorplan
+    outline = floorplan.outline
+    density = np.zeros((rows, cols))
+    netlist = placement.netlist
+    for inst in netlist.std_cells():
+        cx = (placement.x[inst.id] - outline.xlo) / outline.width
+        cy = (placement.y[inst.id] - outline.ylo) / outline.height
+        r = min(rows - 1, max(0, int((1.0 - cy) * rows)))
+        c = min(cols - 1, max(0, int(cx * cols)))
+        density[r, c] += inst.area
+
+    cell_area = outline.width * outline.height / (rows * cols)
+    grid = [[" "] * cols for _ in range(rows)]
+    for r in range(rows):
+        for c in range(cols):
+            level = min(1.0, density[r, c] / cell_area)
+            grid[r][c] = _RAMP[min(len(_RAMP) - 1, int(level * len(_RAMP)))]
+
+    if include_macros:
+        for name, rect in floorplan.macro_placements.items():
+            if macro_names is not None and name not in macro_names:
+                continue
+            c0 = int((rect.xlo - outline.xlo) / outline.width * cols)
+            c1 = int((rect.xhi - outline.xlo) / outline.width * cols)
+            r0 = int((1.0 - (rect.yhi - outline.ylo) / outline.height) * rows)
+            r1 = int((1.0 - (rect.ylo - outline.ylo) / outline.height) * rows)
+            for r in range(max(0, r0), min(rows, r1 + 1)):
+                for c in range(max(0, c0), min(cols, c1 + 1)):
+                    grid[r][c] = "M"
+
+    border = "+" + "-" * cols + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}\n"

@@ -1,0 +1,183 @@
+"""LEF-like macro abstract writer/parser and the scripted ``_MD`` edit.
+
+The textual format mirrors what the flows need from LEF::
+
+    MACRO SRAM_2048X128
+      SIZE 385.23 192.62
+      FOREIGN SUBSTRATE 0.00 0.00 0.40 1.20     # only when shrunk
+      PIN CLK INPUT M4 192.61 0.00 CAP 2.2 CLOCK
+      PIN DOUT[0] OUTPUT M4 10.71 0.00 CAP 0.0
+      OBS M1 0.00 0.00 385.23 192.62
+      TIMING SETUP 173.0 ACCESS 823.0 RDRIVE 1500.0
+      POWER ACCESS 1152.0 LEAKAGE 2.3
+      CLASS MEMORY
+    END MACRO
+
+:func:`edit_lef_for_macro_die` performs, on the *text*, exactly the
+scripted modification the paper describes (Sec. IV): pin and obstruction
+layers gain the ``_MD`` suffix and the substrate footprint shrinks to a
+filler cell, with pin/obstruction (x, y) geometry untouched.  Round-trip
+through :func:`parse_lef` yields the same macro the in-memory edit
+(:meth:`repro.cells.macro.Macro.with_layer_suffix`) produces — a tested
+equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cells.macro import Macro, MacroPin, Obstruction
+from repro.cells.stdcell import PinDirection
+from repro.geom import Point, Rect
+
+_DIRECTIONS = {d.value.upper(): d for d in PinDirection}
+
+
+def write_lef(macro: Macro) -> str:
+    """Serialise a macro to the LEF-like text form."""
+    lines: List[str] = [f"MACRO {macro.name}"]
+    lines.append(f"  SIZE {macro.width:.6f} {macro.height:.6f}")
+    substrate = macro.substrate_rect
+    if macro.substrate is not None:
+        lines.append(
+            "  FOREIGN SUBSTRATE "
+            f"{substrate.xlo:.6f} {substrate.ylo:.6f} "
+            f"{substrate.xhi:.6f} {substrate.yhi:.6f}"
+        )
+    for pin in macro.pins:
+        clock = " CLOCK" if pin.is_clock else ""
+        lines.append(
+            f"  PIN {pin.name} {pin.direction.value.upper()} {pin.layer} "
+            f"{pin.offset.x:.6f} {pin.offset.y:.6f} CAP {pin.capacitance:.3f}"
+            f"{clock}"
+        )
+    for obs in macro.obstructions:
+        rect = obs.rect
+        lines.append(
+            f"  OBS {obs.layer} {rect.xlo:.6f} {rect.ylo:.6f} "
+            f"{rect.xhi:.6f} {rect.yhi:.6f}"
+        )
+    lines.append(
+        f"  TIMING SETUP {macro.setup_time:.3f} ACCESS {macro.access_delay:.3f} "
+        f"RDRIVE {macro.drive_resistance:.3f}"
+    )
+    lines.append(
+        f"  POWER ACCESS {macro.energy_per_access:.3f} "
+        f"LEAKAGE {macro.leakage:.6f}"
+    )
+    if macro.is_memory:
+        lines.append("  CLASS MEMORY")
+    lines.append("END MACRO")
+    return "\n".join(lines) + "\n"
+
+
+def parse_lef(text: str) -> Macro:
+    """Parse one macro from LEF-like text (inverse of :func:`write_lef`)."""
+    name: Optional[str] = None
+    width = height = 0.0
+    substrate: Optional[Rect] = None
+    pins: List[MacroPin] = []
+    obstructions: List[Obstruction] = []
+    setup = access = rdrive = 0.0
+    energy = leakage = 0.0
+    is_memory = False
+
+    for raw in text.splitlines():
+        tokens = raw.split("#", 1)[0].split()
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword == "MACRO":
+            name = tokens[1]
+        elif keyword == "SIZE":
+            width, height = float(tokens[1]), float(tokens[2])
+        elif keyword == "FOREIGN" and tokens[1] == "SUBSTRATE":
+            substrate = Rect(*(float(t) for t in tokens[2:6]))
+        elif keyword == "PIN":
+            direction = _DIRECTIONS[tokens[2]]
+            cap_index = tokens.index("CAP")
+            pins.append(
+                MacroPin(
+                    name=tokens[1],
+                    direction=direction,
+                    layer=tokens[3],
+                    offset=Point(float(tokens[4]), float(tokens[5])),
+                    capacitance=float(tokens[cap_index + 1]),
+                    is_clock="CLOCK" in tokens,
+                )
+            )
+        elif keyword == "OBS":
+            obstructions.append(
+                Obstruction(tokens[1], Rect(*(float(t) for t in tokens[2:6])))
+            )
+        elif keyword == "TIMING":
+            setup = float(tokens[tokens.index("SETUP") + 1])
+            access = float(tokens[tokens.index("ACCESS") + 1])
+            rdrive = float(tokens[tokens.index("RDRIVE") + 1])
+        elif keyword == "POWER":
+            energy = float(tokens[tokens.index("ACCESS") + 1])
+            leakage = float(tokens[tokens.index("LEAKAGE") + 1])
+        elif keyword == "CLASS" and tokens[1] == "MEMORY":
+            is_memory = True
+
+    if name is None:
+        raise ValueError("text does not contain a MACRO block")
+    return Macro(
+        name=name,
+        width=width,
+        height=height,
+        pins=tuple(pins),
+        obstructions=tuple(obstructions),
+        substrate=substrate,
+        setup_time=setup,
+        access_delay=access,
+        drive_resistance=rdrive,
+        energy_per_access=energy,
+        leakage=leakage,
+        is_memory=is_memory,
+    )
+
+
+def edit_lef_for_macro_die(
+    text: str,
+    suffix: str = "_MD",
+    filler_width: float = 0.2,
+    row_height: float = 1.2,
+) -> str:
+    """The scripted LEF edit of Macro-3D, applied to the text itself.
+
+    Pin and obstruction layer names gain ``suffix``; the substrate
+    footprint is replaced by a filler-cell-sized FOREIGN record; all
+    (x, y) boundaries stay untouched — "simple scripted modifications in
+    the lef files of the related macros" (paper Sec. IV).
+    """
+    out: List[str] = []
+    macro_width = macro_height = None
+    for raw in text.splitlines():
+        tokens = raw.split()
+        if not tokens:
+            out.append(raw)
+            continue
+        keyword = tokens[0]
+        if keyword == "MACRO":
+            out.append(f"MACRO {tokens[1]}{suffix}")
+        elif keyword == "SIZE":
+            macro_width, macro_height = float(tokens[1]), float(tokens[2])
+            out.append(raw)
+            shrunk_w = min(filler_width, macro_width)
+            shrunk_h = min(row_height, macro_height)
+            out.append(
+                "  FOREIGN SUBSTRATE "
+                f"{0.0:.6f} {0.0:.6f} {shrunk_w:.6f} {shrunk_h:.6f}"
+            )
+        elif keyword == "FOREIGN":
+            continue  # replaced above
+        elif keyword == "PIN":
+            tokens[3] = tokens[3] + suffix
+            out.append("  " + " ".join(tokens))
+        elif keyword == "OBS":
+            tokens[1] = tokens[1] + suffix
+            out.append("  " + " ".join(tokens))
+        else:
+            out.append(raw)
+    return "\n".join(line for line in out) + "\n"

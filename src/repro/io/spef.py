@@ -1,0 +1,101 @@
+"""SPEF-like parasitic exchange dump.
+
+Sign-off flows hand parasitics between tools as SPEF; this module writes
+the equivalent compact view of a :class:`~repro.extract.rc.DesignParasitics`
+— per net: the lumped wire capacitance, the per-sink path R/C and Elmore
+delay — and parses it back.  Useful for diffing extraction between flows
+(e.g. the S2D pseudo view against the real stack) and for archiving a
+sign-off snapshot next to a DEF dump.
+
+Format::
+
+    SPEF design corner tt_nom_25c
+    NET core/n12 CWIRE 14.210 CPIN 3.300 F2F 0
+      SINK 1 R 210.00 C 12.40 ELMORE 3.210 WL 105.20
+    END
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def write_spef(design: str, parasitics) -> str:
+    """Serialise extracted parasitics (corner-derated values)."""
+    lines: List[str] = [f"SPEF {design} corner {parasitics.corner.name}"]
+    for name in sorted(parasitics.nets):
+        rc = parasitics.nets[name]
+        lines.append(
+            f"NET {name} CWIRE {rc.wire_cap:.4f} "
+            f"CPIN {rc.live_pin_cap:.4f} F2F {rc.f2f_count}"
+        )
+        for sink in sorted(rc.elmore):
+            lines.append(
+                f"  SINK {sink} R {rc.path_r.get(sink, 0.0):.4f} "
+                f"C {rc.path_c.get(sink, 0.0):.4f} "
+                f"ELMORE {rc.elmore[sink]:.4f} "
+                f"WL {rc.sink_wirelength.get(sink, 0.0):.4f}"
+            )
+        lines.append("END")
+    return "\n".join(lines) + "\n"
+
+
+def parse_spef(text: str) -> Tuple[str, str, Dict[str, dict]]:
+    """Parse a SPEF-like dump; returns (design, corner, nets).
+
+    ``nets`` maps net name to a dict with ``cwire``, ``cpin``, ``f2f``
+    and a ``sinks`` dict (sink index -> r/c/elmore/wirelength).  The
+    return is plain data — the netlist objects are not reconstructed.
+    """
+    design: Optional[str] = None
+    corner: Optional[str] = None
+    nets: Dict[str, dict] = {}
+    current: Optional[dict] = None
+    for raw in text.splitlines():
+        tokens = raw.split()
+        if not tokens:
+            continue
+        if tokens[0] == "SPEF":
+            design = tokens[1]
+            corner = tokens[tokens.index("corner") + 1]
+        elif tokens[0] == "NET":
+            current = {
+                "cwire": float(tokens[tokens.index("CWIRE") + 1]),
+                "cpin": float(tokens[tokens.index("CPIN") + 1]),
+                "f2f": int(tokens[tokens.index("F2F") + 1]),
+                "sinks": {},
+            }
+            nets[tokens[1]] = current
+        elif tokens[0] == "SINK" and current is not None:
+            current["sinks"][int(tokens[1])] = {
+                "r": float(tokens[tokens.index("R") + 1]),
+                "c": float(tokens[tokens.index("C") + 1]),
+                "elmore": float(tokens[tokens.index("ELMORE") + 1]),
+                "wirelength": float(tokens[tokens.index("WL") + 1]),
+            }
+        elif tokens[0] == "END":
+            current = None
+    if design is None or corner is None:
+        raise ValueError("text does not contain a SPEF header")
+    return design, corner, nets
+
+
+def diff_spef(
+    nets_a: Dict[str, dict], nets_b: Dict[str, dict], top: int = 10
+) -> List[Tuple[str, float]]:
+    """Nets whose worst-sink Elmore differs most between two dumps.
+
+    This is how the S2D misprediction is inspected: diff the pseudo
+    extraction against the final-stack extraction and look at the top
+    offenders.
+    """
+    deltas: List[Tuple[str, float]] = []
+    for name, a in nets_a.items():
+        b = nets_b.get(name)
+        if b is None or not a["sinks"] or not b["sinks"]:
+            continue
+        worst_a = max(s["elmore"] for s in a["sinks"].values())
+        worst_b = max(s["elmore"] for s in b["sinks"].values())
+        deltas.append((name, worst_b - worst_a))
+    deltas.sort(key=lambda kv: -abs(kv[1]))
+    return deltas[:top]

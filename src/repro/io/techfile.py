@@ -1,0 +1,97 @@
+"""tch-like parasitic technology files, one per process corner.
+
+Macro-3D generates "tch files for parasitic extraction (one for each
+corner) and a techlef file for the abstract view of the layers"
+(Sec. IV).  This module writes the equivalent deck for any layer stack —
+including merged double-die stacks — with corner-derated wire R/C::
+
+    TECHFILE hk28 CORNER tt_nom_25c
+    LAYER M1 ROUTING HORIZONTAL PITCH 0.1000 R 4.0000 C 0.2000
+    LAYER VIA12 CUT R 9.0000 C 0.0500 PITCH 0.1000
+    ...
+    LAYER F2F_VIA CUT R 0.0440 C 1.0000 PITCH 1.0000
+    LAYER M6_MD ROUTING VERTICAL PITCH 0.4000 R 0.3500 C 0.2400
+    END TECHFILE
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.tech.corners import Corner
+from repro.tech.layers import CutLayer, Layer, LayerDirection, LayerStack, RoutingLayer
+
+
+def write_techfile(name: str, stack: LayerStack, corner: Corner) -> str:
+    """Serialise a layer stack at one corner."""
+    lines: List[str] = [f"TECHFILE {name} CORNER {corner.name}"]
+    for layer in stack.layers:
+        if isinstance(layer, RoutingLayer):
+            lines.append(
+                f"LAYER {layer.name} ROUTING {layer.direction.value.upper()} "
+                f"PITCH {layer.pitch:.4f} WIDTH {layer.width:.4f} "
+                f"THICKNESS {layer.thickness:.4f} "
+                f"R {layer.r_per_um * corner.wire_r_derate:.4f} "
+                f"C {layer.c_per_um * corner.wire_c_derate:.4f}"
+            )
+        else:
+            lines.append(
+                f"LAYER {layer.name} CUT "
+                f"R {layer.resistance * corner.wire_r_derate:.4f} "
+                f"C {layer.capacitance * corner.wire_c_derate:.4f} "
+                f"PITCH {layer.pitch:.4f} SIZE {layer.size:.4f} "
+                f"HEIGHT {layer.height:.4f}"
+            )
+    lines.append("END TECHFILE")
+    return "\n".join(lines) + "\n"
+
+
+def parse_techfile(text: str) -> Tuple[str, str, LayerStack]:
+    """Parse a techfile; returns (name, corner name, stack).
+
+    The parsed R/C values are the corner-derated ones — a techfile is a
+    per-corner view, exactly like a real tch deck.
+    """
+    name: Optional[str] = None
+    corner_name: Optional[str] = None
+    layers: List[Layer] = []
+    for raw in text.splitlines():
+        tokens = raw.split()
+        if not tokens:
+            continue
+        if tokens[0] == "TECHFILE":
+            name = tokens[1]
+            corner_name = tokens[tokens.index("CORNER") + 1]
+        elif tokens[0] == "LAYER":
+            layer_name = tokens[1]
+            kind = tokens[2]
+            def value(key: str) -> float:
+                return float(tokens[tokens.index(key) + 1])
+            if kind == "ROUTING":
+                layers.append(
+                    RoutingLayer(
+                        name=layer_name,
+                        direction=LayerDirection(tokens[3].lower()),
+                        pitch=value("PITCH"),
+                        width=value("WIDTH"),
+                        thickness=value("THICKNESS"),
+                        r_per_um=value("R"),
+                        c_per_um=value("C"),
+                    )
+                )
+            elif kind == "CUT":
+                layers.append(
+                    CutLayer(
+                        name=layer_name,
+                        resistance=value("R"),
+                        capacitance=value("C"),
+                        pitch=value("PITCH"),
+                        size=value("SIZE"),
+                        height=value("HEIGHT"),
+                    )
+                )
+            else:
+                raise ValueError(f"unknown layer kind {kind!r}")
+    if name is None or corner_name is None:
+        raise ValueError("text does not contain a TECHFILE block")
+    return name, corner_name, LayerStack(layers)

@@ -1,0 +1,6 @@
+"""PPA metrics and paper-style table reporting."""
+
+from repro.metrics.ppa import PPASummary
+from repro.metrics.report import format_table
+
+__all__ = ["PPASummary", "format_table"]

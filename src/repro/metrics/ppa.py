@@ -1,0 +1,78 @@
+"""The PPA summary every flow emits — the row vocabulary of Tables I-III.
+
+Field names map one-to-one onto the paper's rows:
+
+========================= =====================================
+field                     paper row
+========================= =====================================
+fclk_mhz                  fclk [MHz]
+emean_fj                  Emean [fJ/cycle]
+footprint_mm2             Afootprint [(mm)^2]
+logic_cell_area_mm2       Alogic-cells [(mm)^2]
+total_wirelength_m        Total wirelength [m]
+f2f_bumps                 F2F bumps
+cpin_nf                   Cpin,total [nF]
+cwire_nf                  Cwire,total [nF]
+clock_depth               Max. clk.-tree depth
+crit_path_wl_mm           Crit.-path wirelength [mm]
+metal_area_mm2            Ametal [(mm)^2]  (Table III)
+========================= =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class PPASummary:
+    """One flow's headline numbers."""
+
+    flow: str
+    design: str
+    fclk_mhz: float
+    emean_fj: float
+    #: One die's footprint (the quantity the paper reports; for 3D flows
+    #: both dies share it).
+    footprint_mm2: float
+    #: Total silicon over all dies.
+    silicon_mm2: float
+    logic_cell_area_mm2: float
+    total_wirelength_m: float
+    f2f_bumps: int
+    cpin_nf: float
+    cwire_nf: float
+    clock_depth: int
+    crit_path_wl_mm: float
+    #: Sum of metal-layer area over both dies (manufacturing cost proxy).
+    metal_area_mm2: float
+    #: Secondary quality metrics.
+    routing_overflow: float = 0.0
+    detour_factor: float = 1.0
+    num_repeaters: int = 0
+    power_uw: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """The paper-style row for table formatting."""
+        return {
+            "fclk [MHz]": round(self.fclk_mhz, 1),
+            "Emean [fJ/cycle]": round(self.emean_fj, 1),
+            "Afootprint [mm2]": round(self.footprint_mm2, 2),
+            "Alogic-cells [mm2]": round(self.logic_cell_area_mm2, 3),
+            "Total wirelength [m]": round(self.total_wirelength_m, 2),
+            "F2F bumps": self.f2f_bumps,
+            "Cpin,total [nF]": round(self.cpin_nf, 3),
+            "Cwire,total [nF]": round(self.cwire_nf, 3),
+            "Max clk-tree depth": self.clock_depth,
+            "Crit-path wirelength [mm]": round(self.crit_path_wl_mm, 2),
+            "Ametal [mm2]": round(self.metal_area_mm2, 1),
+        }
+
+
+def relative_change(before: float, after: float) -> float:
+    """Percent change from ``before`` to ``after`` (paper-style deltas)."""
+    if before == 0:
+        raise ValueError("baseline value is zero")
+    return (after - before) / before * 100.0

@@ -1,0 +1,68 @@
+"""Plain-text table formatting in the paper's layout.
+
+``format_table`` renders a metric-per-row, design-per-column table like
+Tables I-III, with optional percentage deltas against a baseline column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.ppa import PPASummary
+
+
+def format_table(
+    title: str,
+    summaries: Sequence[PPASummary],
+    rows: Optional[Sequence[str]] = None,
+    baseline: Optional[str] = None,
+) -> str:
+    """Render summaries as a paper-style table.
+
+    Args:
+        title: table caption.
+        summaries: one per column, in display order.
+        rows: subset/order of row labels (defaults to all).
+        baseline: flow name whose column is the 100 % reference; other
+            columns get a percent delta appended, as the paper prints.
+    """
+    if not summaries:
+        raise ValueError("need at least one summary")
+    columns = [s.as_row() for s in summaries]
+    labels = list(rows) if rows is not None else list(columns[0].keys())
+    base_index = None
+    if baseline is not None:
+        for i, summary in enumerate(summaries):
+            if summary.flow == baseline:
+                base_index = i
+                break
+
+    header = [""] + [s.flow for s in summaries]
+    body: List[List[str]] = []
+    for label in labels:
+        row = [label]
+        for i, column in enumerate(columns):
+            value = column.get(label, "")
+            cell = f"{value}"
+            if (
+                base_index is not None
+                and i != base_index
+                and isinstance(value, (int, float))
+            ):
+                base_value = columns[base_index].get(label)
+                if isinstance(base_value, (int, float)) and base_value:
+                    delta = (value - base_value) / base_value * 100.0
+                    cell += f" ({delta:+.1f}%)"
+            row.append(cell)
+        body.append(row)
+
+    widths = [
+        max(len(line[i]) for line in [header] + body)
+        for i in range(len(header))
+    ]
+    out = [title]
+    out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in body:
+        out.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)

@@ -1,0 +1,11 @@
+"""Gate-level netlist data model and generators.
+
+- :mod:`repro.netlist.core` — instances, nets, ports, the ``Netlist``.
+- :mod:`repro.netlist.generator` — Rent's-rule logic clouds and pipelines.
+- :mod:`repro.netlist.openpiton` — the OpenPiton tile used by the case study.
+- :mod:`repro.netlist.verilog` — structural Verilog writer/reader.
+"""
+
+from repro.netlist.core import Instance, Net, Netlist, Port, PortConstraint, Term
+
+__all__ = ["Instance", "Net", "Netlist", "Port", "PortConstraint", "Term"]

@@ -1,0 +1,227 @@
+"""Synthetic netlist generators.
+
+These stand in for synthesized RTL (DESIGN.md substitution table).  The
+generators produce netlists whose *statistics* match what the flows care
+about: cell count and area, net-degree distribution, register-to-register
+logic depth, and macro connectivity.  Logic function is irrelevant to
+physical design, so gates are wired structurally, not functionally.
+
+The central builder is :class:`LogicCloudBuilder`, which emits a levelised
+register -> combinational levels -> register block.  Levelisation gives
+clean, controllable flop-to-flop timing paths (the quantity fmax is
+measured on) while random cross-level taps reproduce the fanout spread of
+real logic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cells.library import StdCellLibrary
+from repro.cells.stdcell import PinDirection, StdCell
+from repro.netlist.core import Instance, Net, Netlist
+
+
+@dataclass
+class CloudStats:
+    """What a generated cloud exposes to its surroundings."""
+
+    name: str
+    flops: List[Instance] = field(default_factory=list)
+    gates: List[Instance] = field(default_factory=list)
+    #: Nets a neighbouring block may tap as inputs (register outputs).
+    exported_nets: List[Net] = field(default_factory=list)
+    #: Input nets left for the caller to drive (one per requested input).
+    open_inputs: List[Net] = field(default_factory=list)
+
+
+#: Relative frequency of gate families in the combinational levels,
+#: loosely following synthesized-RTL composition.
+_GATE_MIX = (
+    ("NAND2", 0.32),
+    ("NOR2", 0.18),
+    ("INV", 0.22),
+    ("AOI21", 0.14),
+    ("BUF", 0.06),
+    ("XOR2", 0.08),
+)
+
+#: Drive-strength mix of a synthesized netlist (gates).  Synthesis sizes
+#: against wire-load models, so netlists arrive with a spread of drives;
+#: the physical flows only retouch it.
+_GATE_DRIVES = ((1, 0.45), (2, 0.30), (4, 0.17), (8, 0.08))
+
+#: Drive mix for flip-flops.
+_FLOP_DRIVES = ((1, 0.50), (2, 0.30), (4, 0.20))
+
+#: Expected area of the drive mix relative to an all-X1 netlist; the
+#: tile builder divides its width scaling by this so calibrated cell
+#: areas hold.
+DRIVE_AREA_FACTOR = sum(d * w for d, w in _GATE_DRIVES)
+
+
+def _sample(rng: random.Random, table) -> int:
+    r = rng.random() * sum(w for _, w in table)
+    for value, weight in table:
+        r -= weight
+        if r <= 0:
+            return value
+    return table[-1][0]
+
+
+class LogicCloudBuilder:
+    """Builds levelised logic clouds into an existing netlist.
+
+    One builder per netlist; the random stream is owned by the builder so
+    repeated builds with the same seed are reproducible.
+    """
+
+    def __init__(self, netlist: Netlist, library: StdCellLibrary, seed: int = 0):
+        self.netlist = netlist
+        self.library = library
+        self.rng = random.Random(seed)
+        self._gate_choices = [
+            (self.library.cell(f"{base}_X1"), weight) for base, weight in _GATE_MIX
+        ]
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _pick_gate(self) -> StdCell:
+        r = self.rng.random() * sum(w for _, w in self._gate_choices)
+        base = self._gate_choices[-1][0]
+        for cell, weight in self._gate_choices:
+            r -= weight
+            if r <= 0:
+                base = cell
+                break
+        drive = _sample(self.rng, _GATE_DRIVES)
+        if drive == 1:
+            return base
+        family = self.library.family_of(base)
+        for member in family:
+            if member.drive_index == drive:
+                return member
+        return base
+
+    def _pick_flop(self) -> StdCell:
+        drive = _sample(self.rng, _FLOP_DRIVES)
+        return self.library.cell(f"DFF_X{drive}")
+
+    def _drive_with(self, net: Net, instance: Instance) -> None:
+        output = instance.master.output_pins[0]
+        self.netlist.connect(net, instance, output.name)
+
+    # -- main builder --------------------------------------------------------------
+
+    def add_cloud(
+        self,
+        name: str,
+        num_gates: int,
+        num_flops: int,
+        depth: int,
+        clock_net: Net,
+        num_inputs: int = 0,
+        external_inputs: Optional[Sequence[Net]] = None,
+    ) -> CloudStats:
+        """Add one register-bounded logic cloud.
+
+        Args:
+            name: instance-name prefix (must be unique per netlist).
+            num_gates: combinational gate count.
+            num_flops: register count; flop outputs start the paths, flop
+                inputs end them.
+            depth: combinational levels between register ranks; the longest
+                register-to-register path has this many gates.
+            clock_net: the clock distributed to every flop.
+            num_inputs: extra dangling input nets returned for the caller to
+                drive (used to wire clouds to each other and to macros).
+            external_inputs: nets from elsewhere to mix into level 0.
+
+        Returns:
+            A :class:`CloudStats` with the created instances and the nets
+            exposed for external wiring.
+        """
+        if num_flops <= 0:
+            raise ValueError("a cloud needs at least one flop")
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        stats = CloudStats(name=name)
+
+        # Registers and their output nets.
+        q_nets: List[Net] = []
+        for i in range(num_flops):
+            flop = self.netlist.add_instance(f"{name}/reg{i}", self._pick_flop())
+            self.netlist.connect(clock_net, flop, "CK")
+            q_net = self.netlist.add_net(f"{name}/q{i}")
+            self._drive_with(q_net, flop)
+            q_nets.append(q_net)
+            stats.flops.append(flop)
+        stats.exported_nets = list(q_nets)
+
+        # Open inputs the caller will drive later.
+        for i in range(num_inputs):
+            stats.open_inputs.append(self.netlist.add_net(f"{name}/in{i}"))
+
+        # Level sources: level 0 taps register outputs, open inputs and
+        # whatever the caller supplied.
+        sources: List[Net] = list(q_nets) + stats.open_inputs
+        if external_inputs:
+            sources += list(external_inputs)
+
+        per_level = max(1, num_gates // depth)
+        gate_index = 0
+        level_outputs: List[Net] = []
+        for level in range(depth):
+            level_outputs = []
+            remaining = num_gates - gate_index
+            count = per_level if level < depth - 1 else remaining
+            for _ in range(max(0, count)):
+                master = self._pick_gate()
+                gate = self.netlist.add_instance(f"{name}/g{gate_index}", master)
+                out_net = self.netlist.add_net(f"{name}/n{gate_index}")
+                self._drive_with(out_net, gate)
+                for pin in master.input_pins:
+                    src = self.rng.choice(sources)
+                    self.netlist.connect(src, gate, pin.name)
+                level_outputs.append(out_net)
+                stats.gates.append(gate)
+                gate_index += 1
+            if level_outputs:
+                # Mostly feed forward, but keep some earlier nets visible so
+                # fanout is spread across levels like real logic.
+                keep = max(1, len(sources) // 4)
+                sources = level_outputs + self.rng.sample(
+                    sources, min(keep, len(sources))
+                )
+
+        # Close the paths: every flop D samples a final-level net.
+        last_sources = level_outputs if level_outputs else q_nets
+        for i, flop in enumerate(stats.flops):
+            src = self.rng.choice(last_sources)
+            self.netlist.connect(src, flop, "D")
+        return stats
+
+    def drive_net_from(self, net: Net, candidates: Sequence[Net]) -> None:
+        """Drive an open input net with a buffer fed from one of ``candidates``.
+
+        Inserting a buffer (rather than merging nets) keeps every generated
+        net single-driver and mirrors how synthesis isolates module
+        boundaries.
+        """
+        if net.driver is not None:
+            raise ValueError(f"net {net.name} is already driven")
+        source = self.rng.choice(list(candidates))
+        buf = self.netlist.add_instance(f"{net.name}_drv", self.library.cell("BUF_X1"))
+        self.netlist.connect(source, buf, "A")
+        self._drive_with(net, buf)
+
+    def sink_net_into(self, net: Net, name_hint: str = "") -> Instance:
+        """Terminate a net into a fresh buffer input so it is never floating."""
+        hint = name_hint or f"{net.name}_sink"
+        buf = self.netlist.add_instance(hint, self.library.cell("BUF_X1"))
+        self.netlist.connect(net, buf, "A")
+        out = self.netlist.add_net(f"{hint}_out")
+        self._drive_with(out, buf)
+        return buf

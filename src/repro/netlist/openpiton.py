@@ -1,0 +1,493 @@
+"""OpenPiton-tile netlist generator (paper Sec. V, Fig. 3).
+
+Builds the statistical equivalent of one synthesized OpenPiton tile: a
+64-bit OoO RISC-V Ariane core, private L1 instruction/data caches, a
+private L2, a shared L3 slice, and three parallel NoC routers, with the
+SRAM arrays produced by :class:`~repro.cells.memory_compiler.SRAMCompiler`.
+
+Two cache configurations mirror the paper:
+
+- :func:`small_cache_config` — 8 kB L1I, 16 kB L1D, 16 kB L2, 256 kB L3.
+- :func:`large_cache_config` — 16 kB L1I+L1D, 128 kB L2, 1 MB L3.
+
+Inter-tile constraints (Sec. V-1) are attached to the NoC ports: every
+in/out pin carries a half-cycle IO delay, sits on the top logic-die metal,
+and output pins are position-aligned with the matching input pin on the
+opposite edge so abutted tiles connect without routing.
+
+The ``scale`` parameter produces a scaled-statistics netlist (DESIGN.md
+substitution table): instance counts shrink by ``scale`` while cell widths
+grow by ``1/scale``, preserving total standard-cell area and therefore the
+floorplan geometry the flows compare on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cells.library import StdCellLibrary, default_library
+from repro.cells.macro import Macro
+from repro.cells.memory_compiler import SRAMCompiler, SRAMConfig
+from repro.cells.stdcell import PinDirection
+from repro.netlist.core import Instance, Net, Netlist, Port, PortConstraint
+from repro.netlist.generator import DRIVE_AREA_FACTOR, LogicCloudBuilder
+
+#: Marker stored per macro instance: which die it prefers in a MoL stack.
+LOGIC_DIE = "logic"
+MACRO_DIE = "macro"
+
+
+@dataclass(frozen=True)
+class BankPlan:
+    """How one cache level is banked into SRAM macros."""
+
+    capacity_kb: int
+    banks: int
+    word_bits: int
+    #: Preferred die in a MoL stack (L1s stay close to the core).
+    die: str = MACRO_DIE
+
+    def __post_init__(self) -> None:
+        if self.capacity_kb <= 0 or self.banks <= 0 or self.word_bits <= 0:
+            raise ValueError("bank plan parameters must be positive")
+        if self.capacity_kb * 1024 % self.banks != 0:
+            raise ValueError("capacity does not split evenly into banks")
+        if self.die not in (LOGIC_DIE, MACRO_DIE):
+            raise ValueError(f"unknown die {self.die!r}")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_kb * 1024
+
+
+@dataclass(frozen=True)
+class ModulePlan:
+    """Gate/flop budget of one logic module at full (unscaled) size."""
+
+    gates: int
+    flops: int
+    depth: int
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Full parameterisation of one tile."""
+
+    name: str
+    #: Data arrays per cache level.
+    l1i: BankPlan
+    l1d: BankPlan
+    l2: BankPlan
+    l3: BankPlan
+    #: Tag arrays per cache level.
+    l1i_tag: BankPlan
+    l1d_tag: BankPlan
+    l2_tag: BankPlan
+    l3_tag: BankPlan
+    #: Logic modules at unscaled (synthesis) size.
+    core: ModulePlan = ModulePlan(gates=90_000, flops=14_000, depth=11)
+    l1i_ctrl: ModulePlan = ModulePlan(gates=6_000, flops=1_400, depth=8)
+    l1d_ctrl: ModulePlan = ModulePlan(gates=9_000, flops=2_000, depth=9)
+    l2_ctrl: ModulePlan = ModulePlan(gates=14_000, flops=2_800, depth=8)
+    l3_ctrl: ModulePlan = ModulePlan(gates=20_000, flops=3_600, depth=8)
+    noc_router: ModulePlan = ModulePlan(gates=8_000, flops=1_600, depth=7)
+    noc_count: int = 3
+    #: Flit width per NoC direction at the netlist level (scaled already —
+    #: OpenPiton uses 64-bit flits; fewer wider statistical bits keep the
+    #: port count proportional under scaling).
+    noc_flit_bits: int = 8
+    seed: int = 2020
+
+    def cache_plans(self) -> Dict[str, BankPlan]:
+        return {
+            "l1i": self.l1i,
+            "l1d": self.l1d,
+            "l2": self.l2,
+            "l3": self.l3,
+            "l1i_tag": self.l1i_tag,
+            "l1d_tag": self.l1d_tag,
+            "l2_tag": self.l2_tag,
+            "l3_tag": self.l3_tag,
+        }
+
+    def total_cache_kb(self) -> int:
+        return (
+            self.l1i.capacity_kb
+            + self.l1d.capacity_kb
+            + self.l2.capacity_kb
+            + self.l3.capacity_kb
+        )
+
+
+def small_cache_config() -> TileConfig:
+    """The small-cache tile: 8 kB L1I, 16 kB L1D, 16 kB L2, 256 kB L3.
+
+    The L3 slice uses many narrow banks (compiler sweet spot at this
+    capacity), which is what drives the high F2F bump count of the small
+    configuration in Tables I/II.
+    """
+    return TileConfig(
+        name="openpiton_tile_small",
+        l1i=BankPlan(8, banks=2, word_bits=32, die=LOGIC_DIE),
+        l1d=BankPlan(16, banks=4, word_bits=32, die=LOGIC_DIE),
+        l2=BankPlan(16, banks=2, word_bits=64),
+        l3=BankPlan(256, banks=8, word_bits=128),
+        l1i_tag=BankPlan(1, banks=1, word_bits=32, die=LOGIC_DIE),
+        l1d_tag=BankPlan(1, banks=1, word_bits=32, die=LOGIC_DIE),
+        l2_tag=BankPlan(2, banks=1, word_bits=32),
+        l3_tag=BankPlan(8, banks=1, word_bits=32),
+    )
+
+
+def large_cache_config() -> TileConfig:
+    """The modern/large-cache tile: 16 kB L1I+L1D, 128 kB L2, 1 MB L3.
+
+    Large capacities compile into few wide banks, so the macro pin count —
+    and with it the F2F bump count — is *lower* than in the small
+    configuration, as the paper reports (1215 vs 4740 bumps).
+    """
+    return TileConfig(
+        name="openpiton_tile_large",
+        l1i=BankPlan(16, banks=2, word_bits=32, die=LOGIC_DIE),
+        l1d=BankPlan(16, banks=4, word_bits=32, die=LOGIC_DIE),
+        l2=BankPlan(128, banks=2, word_bits=128),
+        l3=BankPlan(1024, banks=4, word_bits=128),
+        l1i_tag=BankPlan(1, banks=1, word_bits=32, die=LOGIC_DIE),
+        l1d_tag=BankPlan(1, banks=1, word_bits=32, die=LOGIC_DIE),
+        l2_tag=BankPlan(4, banks=1, word_bits=32),
+        l3_tag=BankPlan(16, banks=1, word_bits=32),
+        l2_ctrl=ModulePlan(gates=40_000, flops=7_500, depth=8),
+        l3_ctrl=ModulePlan(gates=110_000, flops=19_000, depth=8),
+    )
+
+
+@dataclass
+class Tile:
+    """A built tile: the netlist plus case-study bookkeeping."""
+
+    config: TileConfig
+    netlist: Netlist
+    library: StdCellLibrary
+    clock_net: Net
+    #: Macro instance -> preferred die in a MoL stack.
+    macro_die_preference: Dict[str, str] = field(default_factory=dict)
+    scale: float = 1.0
+
+    def macros_for_die(self, die: str) -> List[Instance]:
+        return [
+            inst
+            for inst in self.netlist.macros()
+            if self.macro_die_preference.get(inst.name, MACRO_DIE) == die
+        ]
+
+    def macro_pin_count(self, die: Optional[str] = None) -> int:
+        """Total boundary pins over macros (optionally one die's macros)."""
+        macros = self.netlist.macros() if die is None else self.macros_for_die(die)
+        return sum(len(inst.master.pins) for inst in macros)
+
+
+class TileBuilder:
+    """Assembles one OpenPiton tile netlist."""
+
+    def __init__(
+        self,
+        config: TileConfig,
+        scale: float = 1.0,
+        library: Optional[StdCellLibrary] = None,
+        compiler: Optional[SRAMCompiler] = None,
+    ):
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("scale must be in (0, 1]")
+        self.config = config
+        self.scale = scale
+        self.library = library or default_library(
+            width_scale=1.0 / (scale * DRIVE_AREA_FACTOR)
+        )
+        self.compiler = compiler or SRAMCompiler()
+        self.netlist = Netlist(config.name)
+        self.builder = LogicCloudBuilder(self.netlist, self.library, seed=config.seed)
+        self._die_pref: Dict[str, str] = {}
+
+    # -- scaling -------------------------------------------------------------
+
+    def _scaled(self, plan: ModulePlan) -> ModulePlan:
+        gates = max(plan.depth * 2, int(round(plan.gates * self.scale)))
+        flops = max(4, int(round(plan.flops * self.scale)))
+        return ModulePlan(gates=gates, flops=flops, depth=plan.depth)
+
+    # -- pieces ----------------------------------------------------------------
+
+    def _add_clock(self) -> Net:
+        clock = self.netlist.add_net("clk")
+        clock.is_clock = True
+        port = self.netlist.add_port(
+            "clk",
+            PinDirection.INPUT,
+            PortConstraint(edge="W", position=0.5),
+        )
+        self.netlist.connect_port(clock, port)
+        return clock
+
+    def _add_macros(self, name: str, plan: BankPlan, clock: Net) -> List[Instance]:
+        """Instantiate the banks of one cache level and hook up clocks."""
+        macros = self.compiler.compile_bank_set(
+            plan.capacity_bytes, plan.banks, plan.word_bits, name.upper()
+        )
+        instances = []
+        for i, macro in enumerate(macros):
+            inst = self.netlist.add_instance(f"{name}/bank{i}", macro)
+            inst.fixed = True
+            self.netlist.connect(clock, inst, "CLK")
+            self._die_pref[inst.name] = plan.die
+            instances.append(inst)
+        return instances
+
+    def _wire_macros_to_ctrl(
+        self,
+        name: str,
+        macro_insts: List[Instance],
+        plan: ModulePlan,
+        clock: Net,
+    ) -> "CloudHandle":
+        """Build the cache controller cloud and wire it to its banks.
+
+        Macro input pins (address/data/control) are driven round-robin from
+        the controller's register outputs — giving the flop-to-memory paths
+        that dominate the 2D critical path in the paper.  Macro outputs
+        enter the controller's first logic level, and any unused DOUT is
+        registered explicitly so every memory has a read path.
+        """
+        dout_nets: List[Net] = []
+        for inst in macro_insts:
+            assert isinstance(inst.master, Macro)
+            for pin in inst.master.output_pins:
+                net = self.netlist.add_net(f"{inst.name}/{pin.name}")
+                self.netlist.connect(net, inst, pin.name)
+                dout_nets.append(net)
+
+        stats = self.builder.add_cloud(
+            name=name,
+            num_gates=plan.gates,
+            num_flops=plan.flops,
+            depth=plan.depth,
+            clock_net=clock,
+        )
+
+        # Drive every macro input pin from a register output.  Each bank
+        # gets a dedicated contiguous block of registers, as real cache
+        # datapaths do — a write/address net connects one driver to pins
+        # of one bank, giving the flop-to-memory paths that dominate the
+        # 2D critical path in the paper without artificial nets spanning
+        # several banks.
+        q_nets = stats.exported_nets
+        n_q = len(q_nets)
+        stride = max(1, n_q // max(1, len(macro_insts)))
+        for mi, inst in enumerate(macro_insts):
+            assert isinstance(inst.master, Macro)
+            base = (mi * stride) % n_q
+            for j, pin in enumerate(inst.master.input_pins):
+                src = q_nets[(base + j % stride) % n_q]
+                self.netlist.connect(src, inst, pin.name)
+
+        # Read data is registered after one level of output muxing, as in
+        # the pipelined cache RTL: DOUT -> mux gate -> read register.
+        flop_master = self.library.cell("DFF_X2")
+        mux_master = self.library.cell("NAND2_X2")
+        for i, net in enumerate(dout_nets):
+            gate = self.netlist.add_instance(f"{name}/rdmux{i}", mux_master)
+            self.netlist.connect(net, gate, "A")
+            self.netlist.connect(q_nets[i % len(q_nets)], gate, "B")
+            mux_net = self.netlist.add_net(f"{name}/rdn{i}")
+            self.netlist.connect(mux_net, gate, "Y")
+            flop = self.netlist.add_instance(f"{name}/rd{i}", flop_master)
+            self.netlist.connect(clock, flop, "CK")
+            self.netlist.connect(mux_net, flop, "D")
+            q = self.netlist.add_net(f"{name}/rdq{i}")
+            self.netlist.connect(q, flop, "Q")
+        return CloudHandle(name, stats.exported_nets, stats.open_inputs)
+
+    def _add_noc_router(self, index: int, clock: Net) -> "CloudHandle":
+        """One NoC router with constrained N/S/E/W in/out ports."""
+        name = f"noc{index}"
+        flits = self.config.noc_flit_bits
+        plan = self._scaled(self.config.noc_router)
+
+        # Input ports are registered immediately — the half-cycle budget
+        # of the inter-tile constraint only has to cover the pin-to-flop
+        # wire, exactly as the real tile is designed (Sec. V-1).
+        flop_master = self.library.cell("DFF_X1")
+        in_q_nets: List[Net] = []
+        for edge in ("N", "S", "E", "W"):
+            for bit in range(flits):
+                position = _noc_pin_position(index, bit, flits, self.config.noc_count)
+                pname = f"{name}_{edge}_in[{bit}]"
+                port = self.netlist.add_port(
+                    pname,
+                    PinDirection.INPUT,
+                    PortConstraint(
+                        edge=edge,
+                        position=position,
+                        io_delay_fraction=0.5,
+                        aligned_with=None,
+                    ),
+                )
+                net = self.netlist.add_net(f"{name}/{edge}_in{bit}")
+                self.netlist.connect_port(net, port)
+                flop = self.netlist.add_instance(
+                    f"{name}/in_reg_{edge}{bit}", flop_master
+                )
+                self.netlist.connect(clock, flop, "CK")
+                self.netlist.connect(net, flop, "D")
+                q_net = self.netlist.add_net(f"{name}/{edge}_inq{bit}")
+                self.netlist.connect(q_net, flop, "Q")
+                in_q_nets.append(q_net)
+
+        stats = self.builder.add_cloud(
+            name=name,
+            num_gates=plan.gates,
+            num_flops=plan.flops,
+            depth=plan.depth,
+            clock_net=clock,
+            external_inputs=in_q_nets,
+        )
+
+        # Output ports get dedicated output registers whose Q drives only
+        # the pin — the standard IO-register discipline that lets the
+        # half-cycle constraint close: the placer parks the flop next to
+        # its pin.  Pins align with the opposite edge's input (Sec. V-1).
+        q_nets = stats.exported_nets
+        cursor = 0
+        for edge, opposite in (("N", "S"), ("S", "N"), ("E", "W"), ("W", "E")):
+            for bit in range(flits):
+                position = _noc_pin_position(index, bit, flits, self.config.noc_count)
+                pname = f"{name}_{edge}_out[{bit}]"
+                partner = f"{name}_{opposite}_in[{bit}]"
+                port = self.netlist.add_port(
+                    pname,
+                    PinDirection.OUTPUT,
+                    PortConstraint(
+                        edge=edge,
+                        position=position,
+                        io_delay_fraction=0.5,
+                        aligned_with=partner,
+                    ),
+                )
+                flop = self.netlist.add_instance(
+                    f"{name}/out_reg_{edge}{bit}", flop_master
+                )
+                self.netlist.connect(clock, flop, "CK")
+                self.netlist.connect(
+                    q_nets[cursor % len(q_nets)], flop, "D"
+                )
+                out_net = self.netlist.add_net(f"{name}/{edge}_outq{bit}")
+                self.netlist.connect(out_net, flop, "Q")
+                self.netlist.connect_port(out_net, port)
+                cursor += 1
+        return CloudHandle(name, stats.exported_nets, stats.open_inputs)
+
+    def _cross_wire(self, clouds: Sequence["CloudHandle"]) -> None:
+        """Wire module boundaries: each cloud's open inputs are driven from
+        the register outputs of the other clouds, in a ring — the same
+        core<->cache<->NoC traffic structure as the real tile."""
+        for i, cloud in enumerate(clouds):
+            neighbours = clouds[(i + 1) % len(clouds)]
+            for net in cloud.open_inputs:
+                self.builder.drive_net_from(net, neighbours.exported_nets)
+
+    # -- top level -----------------------------------------------------------------
+
+    def build(self) -> Tile:
+        config = self.config
+        clock = self._add_clock()
+
+        # Memories.
+        level_macros: Dict[str, List[Instance]] = {}
+        for level, plan in config.cache_plans().items():
+            level_macros[level] = self._add_macros(level, plan, clock)
+
+        # Core.
+        core_plan = self._scaled(config.core)
+        core_stats = self.builder.add_cloud(
+            name="core",
+            num_gates=core_plan.gates,
+            num_flops=core_plan.flops,
+            depth=core_plan.depth,
+            clock_net=clock,
+            num_inputs=32,
+        )
+        core = CloudHandle("core", core_stats.exported_nets, core_stats.open_inputs)
+
+        # Cache controllers (data + tag arrays share a controller).
+        ctrls = [
+            self._wire_macros_to_ctrl(
+                "l1i_ctrl",
+                level_macros["l1i"] + level_macros["l1i_tag"],
+                self._scaled(config.l1i_ctrl),
+                clock,
+            ),
+            self._wire_macros_to_ctrl(
+                "l1d_ctrl",
+                level_macros["l1d"] + level_macros["l1d_tag"],
+                self._scaled(config.l1d_ctrl),
+                clock,
+            ),
+            self._wire_macros_to_ctrl(
+                "l2_ctrl",
+                level_macros["l2"] + level_macros["l2_tag"],
+                self._scaled(config.l2_ctrl),
+                clock,
+            ),
+            self._wire_macros_to_ctrl(
+                "l3_ctrl",
+                level_macros["l3"] + level_macros["l3_tag"],
+                self._scaled(config.l3_ctrl),
+                clock,
+            ),
+        ]
+
+        # NoC routers.
+        nocs = [self._add_noc_router(i + 1, clock) for i in range(config.noc_count)]
+
+        self._cross_wire([core] + ctrls + nocs)
+        self.netlist.validate()
+        return Tile(
+            config=config,
+            netlist=self.netlist,
+            library=self.library,
+            clock_net=clock,
+            macro_die_preference=dict(self._die_pref),
+            scale=self.scale,
+        )
+
+
+@dataclass
+class CloudHandle:
+    """A built module's external interface."""
+
+    name: str
+    exported_nets: List[Net]
+    open_inputs: List[Net]
+
+
+def _noc_pin_position(noc_index: int, bit: int, flits: int, noc_count: int) -> float:
+    """Fractional edge position of one NoC pin.
+
+    NoCs occupy disjoint windows along each edge; in/out pins of the same
+    (noc, bit) share the position so the alignment constraint of Sec. V-1
+    holds by construction.
+    """
+    window = 0.8 / noc_count
+    start = 0.1 + window * (noc_index - 1)
+    return start + window * (bit + 1) / (flits + 1)
+
+
+def build_tile(
+    config: TileConfig,
+    scale: float = 1.0,
+    library: Optional[StdCellLibrary] = None,
+    compiler: Optional[SRAMCompiler] = None,
+) -> Tile:
+    """Build one OpenPiton tile netlist at the given statistical scale."""
+    return TileBuilder(config, scale=scale, library=library, compiler=compiler).build()

@@ -1,0 +1,197 @@
+"""Structural Verilog writer/reader for flat netlists.
+
+The writer emits one flat module; the reader rebuilds a
+:class:`~repro.netlist.core.Netlist` against a cell library and a macro
+dictionary.  Port constraints are preserved through structured comments
+(``// constraint <port> <edge> <pos> <iofrac> <aligned|->``), so a tile
+netlist round-trips completely.
+
+Net and instance names are escaped with the Verilog ``\\...`` syntax when
+they contain hierarchy separators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cells.library import StdCellLibrary
+from repro.cells.macro import Macro
+from repro.cells.stdcell import PinDirection
+from repro.netlist.core import Netlist, Port, PortConstraint
+
+
+def _escape(name: str) -> str:
+    if all(ch.isalnum() or ch == "_" for ch in name):
+        return name
+    return f"\\{name} "
+
+
+def _unescape(token: str) -> str:
+    if token.startswith("\\"):
+        return token[1:]
+    return token
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialise a flat netlist to structural Verilog."""
+    lines: List[str] = []
+    port_names = [_escape(p.name) for p in netlist.ports]
+    lines.append(f"module {_escape(netlist.name)} (")
+    lines.append("  " + ",\n  ".join(port_names))
+    lines.append(");")
+    for port in netlist.ports:
+        direction = "input" if port.direction is PinDirection.INPUT else "output"
+        lines.append(f"  {direction} {_escape(port.name)};")
+        if port.net is not None:
+            lines.append(
+                f"  // portnet {_escape(port.name)} {_escape(port.net.name)}"
+            )
+        constraint = port.constraint
+        if constraint is not None:
+            aligned = constraint.aligned_with or "-"
+            lines.append(
+                f"  // constraint {_escape(port.name)} {constraint.edge} "
+                f"{constraint.position:.6f} {constraint.io_delay_fraction:.3f} "
+                f"{aligned}"
+            )
+    for net in netlist.nets:
+        if net.is_clock:
+            lines.append(f"  // clocknet {_escape(net.name)}")
+        lines.append(f"  wire {_escape(net.name)};")
+    for inst in netlist.instances:
+        conns = ", ".join(
+            f".{pin}({_escape(net.name)})"
+            for pin, net in sorted(inst.connections.items())
+        )
+        lines.append(
+            f"  {_escape(inst.master.name)} {_escape(inst.name)} ({conns});"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def read_verilog(
+    text: str,
+    library: StdCellLibrary,
+    macros: Optional[Dict[str, Macro]] = None,
+) -> Netlist:
+    """Rebuild a netlist from :func:`write_verilog` output."""
+    macros = macros or {}
+    netlist: Optional[Netlist] = None
+    directions: Dict[str, PinDirection] = {}
+    constraints: Dict[str, PortConstraint] = {}
+    clock_nets: List[str] = []
+    port_nets: Dict[str, str] = {}
+    wires: List[str] = []
+    instances: List[tuple] = []
+    port_order: List[str] = []
+
+    def tokens_of(line: str) -> List[str]:
+        # Handle escaped identifiers: "\name " counts as one token.
+        out: List[str] = []
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch == "\\":
+                j = line.find(" ", i)
+                if j < 0:
+                    j = len(line)
+                out.append(line[i:j])
+                i = j + 1
+                continue
+            j = i
+            while j < len(line) and not line[j].isspace():
+                j += 1
+            out.append(line[i:j])
+            i = j
+        return out
+
+    for raw in text.splitlines():
+        stripped = raw.strip().rstrip(";")
+        if not stripped:
+            continue
+        if stripped.startswith("// clocknet"):
+            toks = tokens_of(stripped[2:].strip())
+            clock_nets.append(_unescape(toks[1]))
+            continue
+        if stripped.startswith("// portnet"):
+            toks = tokens_of(stripped[2:].strip())
+            port_nets[_unescape(toks[1])] = _unescape(toks[2])
+            continue
+        if stripped.startswith("// constraint"):
+            toks = tokens_of(stripped[2:].strip())
+            name = _unescape(toks[1])
+            aligned = None if toks[5] == "-" else toks[5]
+            constraints[name] = PortConstraint(
+                edge=toks[2],
+                position=float(toks[3]),
+                io_delay_fraction=float(toks[4]),
+                aligned_with=aligned,
+            )
+            continue
+        stripped = stripped.split("//", 1)[0].strip().rstrip(";")
+        if not stripped:
+            continue
+        toks = tokens_of(stripped)
+        if not toks:
+            continue
+        if toks[0] == "module":
+            netlist = Netlist(_unescape(toks[1]))
+        elif toks[0] in ("input", "output"):
+            name = _unescape(toks[1])
+            directions[name] = (
+                PinDirection.INPUT if toks[0] == "input" else PinDirection.OUTPUT
+            )
+            port_order.append(name)
+        elif toks[0] == "wire":
+            wires.append(_unescape(toks[1]))
+        elif toks[0] in ("endmodule", ");", "("):
+            continue
+        elif toks[0].startswith(".") or toks[0].endswith(","):
+            continue
+        elif len(toks) >= 2 and "(" in stripped:
+            master_name = _unescape(toks[0])
+            inst_name = _unescape(toks[1])
+            conn_text = stripped[stripped.index("(") + 1 : stripped.rindex(")")]
+            conns: Dict[str, str] = {}
+            for piece in conn_text.split(","):
+                piece = piece.strip()
+                if not piece:
+                    continue
+                pin = piece[1 : piece.index("(")]
+                net_token = piece[piece.index("(") + 1 : piece.rindex(")")]
+                conns[pin] = _unescape(net_token).strip()
+            instances.append((master_name, inst_name, conns))
+
+    if netlist is None:
+        raise ValueError("text does not contain a module")
+
+    for name in wires:
+        netlist.add_net(name)
+    for name in clock_nets:
+        netlist.net(name).is_clock = True
+
+    for name in port_order:
+        port = netlist.add_port(name, directions[name], constraints.get(name))
+        net_name = port_nets.get(name, name)
+        netlist.connect_port(netlist.get_or_add_net(net_name), port)
+
+    for master_name, inst_name, conns in instances:
+        if master_name in macros:
+            master = macros[master_name]
+        elif master_name in library:
+            master = library.cell(master_name)
+        else:
+            raise KeyError(f"unknown master {master_name}")
+        inst = netlist.add_instance(inst_name, master)
+        # Connect output pins first so drivers register before sinks.
+        ordered = sorted(
+            conns.items(),
+            key=lambda kv: master.pin(kv[0]).direction is not PinDirection.OUTPUT,
+        )
+        for pin, net_name in ordered:
+            netlist.connect(netlist.get_or_add_net(net_name), inst, pin)
+    return netlist

@@ -1,0 +1,6 @@
+"""Timing optimization: repeater planning and gate sizing."""
+
+from repro.opt.buffering import BufferPlan, plan_buffers
+from repro.opt.sizing import SizingResult, size_for_timing
+
+__all__ = ["BufferPlan", "plan_buffers", "SizingResult", "size_for_timing"]

@@ -1,0 +1,208 @@
+"""Repeater (buffer) planning on long interconnect.
+
+Long wires have quadratic Elmore delay; inserting ``k`` repeaters makes
+it near-linear.  The planner picks, per routed driver-to-sink path, the
+repeater count minimising the classical segmented-line delay
+
+    d(k) = R*C / (2*(k+1)) + k * (t_buf + R_buf*C/(k+1) + R_buf*C_buf)
+
+Repeaters are modelled analytically (DESIGN.md: no netlist surgery), but
+their area, pin capacitance and leakage are charged to the design —
+reproducing the paper's observation that the faster designs spend
+slightly more cell area and pin capacitance.
+
+The plan stores only the repeater *counts*.  Evaluating a plan against a
+different set of parasitics (``delay_with``) recomputes the delay with
+the stored counts — this is exactly how the S2D flow goes wrong: its
+counts are chosen on pseudo parasitics and frozen, then physics is
+evaluated on the real stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cells.library import StdCellLibrary
+from repro.cells.stdcell import StdCell
+from repro.extract.rc import DesignParasitics, NetRC
+
+#: Repeater cell used by the planner.
+REPEATER_CELL = "BUF_X8"
+
+#: Sinks with raw wire delay below this (ps) are never buffered.
+MIN_DELAY_FOR_BUFFERING = 30.0
+
+#: Minimum substrate length (um) needed per repeater: cells must land on
+#: free rows, so wires crossing macro arrays stay unrepeated — the paper's
+#: flop-to-memory critical paths in 2D.
+REPEATER_SPACING = 120.0
+
+#: Nets at or above this fanout get a dedicated buffer tree when they are
+#: buffered at all: each sink is then driven over its direct distance
+#: instead of through the shared route tree, at the cost of one extra
+#: buffer stage — standard high-fanout-net synthesis.
+TREE_FANOUT = 6
+
+
+def _tree_ratio(rc: NetRC, sink: int) -> float:
+    """Direct-over-routed length ratio used by the buffer-tree model."""
+    length = rc.sink_wirelength.get(sink, 0.0)
+    direct = rc.sink_direct.get(sink, length)
+    if length <= 0.0:
+        return 1.0
+    return min(1.0, max(0.1, direct / length))
+
+
+@dataclass
+class BufferPlan:
+    """Chosen repeater counts per (net, sink) plus design-level totals."""
+
+    repeater: StdCell
+    #: (net name, sink term index) -> repeater count k >= 1.
+    counts: Dict[Tuple[str, int], int] = field(default_factory=dict)
+
+    # -- delay evaluation ------------------------------------------------------
+
+    #: Cell-delay derate of the corner the plan is evaluated at; set by
+    #: the timing engine so repeater stages slow down with the corner
+    #: like every other cell (wire R/C arrive already derated in the
+    #: extracted parasitics).
+    delay_derate: float = 1.0
+
+    def _segmented_delay(self, r: float, c: float, k: int) -> float:
+        """Delay of a wire split by k repeaters (ps); k = 0 is the raw line."""
+        buf = self.repeater
+        c_in = buf.pins[0].capacitance
+        wire = r * c / (2.0 * (k + 1)) * 1.0e-3
+        if k == 0:
+            return wire
+        per_buffer = self.delay_derate * (
+            buf.intrinsic_delay
+            + buf.drive_resistance * (c / (k + 1) + c_in) * 1.0e-3
+        )
+        return wire + k * per_buffer
+
+    def optimal_count(self, r: float, c: float, max_k: int = 16) -> int:
+        """Best repeater count for a line with total R (ohm), C (fF)."""
+        best_k, best_d = 0, self._segmented_delay(r, c, 0)
+        for k in range(1, max_k + 1):
+            d = self._segmented_delay(r, c, k)
+            if d < best_d:
+                best_k, best_d = k, d
+        return best_k
+
+    def split_delay(self, r: float, c: float, blocked: float, k: int) -> float:
+        """Delay of a path whose blocked stretch cannot hold repeaters.
+
+        The free portion is optimally segmented by ``k`` repeaters; the
+        macro-covered portion (fraction ``blocked``) runs unrepeated at
+        the far end, driven by the last repeater — the geometry of a
+        flop-to-memory path crossing a macro array.
+        """
+        r_free = r * (1.0 - blocked)
+        c_free = c * (1.0 - blocked)
+        r_blk = r * blocked
+        c_blk = c * blocked
+        free = self._segmented_delay(r_free, c_free, k)
+        if c_blk <= 0.0:
+            return free
+        driver_r = self.repeater.drive_resistance if k > 0 else 0.0
+        return free + (driver_r * c_blk + r_blk * c_blk / 2.0) * 1.0e-3
+
+    def delay_with(self, rc: NetRC, sink: int) -> float:
+        """Wire delay (ps) to a sink under this plan, given parasitics.
+
+        Unbuffered sinks keep their tree-aware Elmore delay; buffered
+        sinks use the split free/blocked segmented model with the planned
+        count.
+        """
+        k = self.counts.get((rc.net.name, sink), 0)
+        if k == 0:
+            return rc.elmore.get(sink, 0.0)
+        r = rc.path_r.get(sink, 0.0)
+        c = rc.path_c.get(sink, 0.0)
+        blocked = rc.path_blocked.get(sink, 0.0)
+        if len(rc.elmore) >= TREE_FANOUT:
+            ratio = _tree_ratio(rc, sink)
+            buf = self.repeater
+            stage = self.delay_derate * (
+                buf.intrinsic_delay
+                + buf.drive_resistance * buf.pins[0].capacitance * 1.0e-3
+            )
+            return stage + self.split_delay(r * ratio, c * ratio, blocked, k)
+        return self.split_delay(r, c, blocked, k)
+
+    def driver_load(self, rc: NetRC) -> float:
+        """Capacitance the net's original driver sees under this plan.
+
+        When any sink is buffered, the driver only drives the first wire
+        segment of the most-buffered branch plus the repeater input.
+        """
+        counts = [
+            self.counts.get((rc.net.name, sink), 0) for sink in rc.elmore
+        ]
+        k = max(counts) if counts else 0
+        if k == 0:
+            return rc.driver_load
+        c_in = self.repeater.pins[0].capacitance
+        return rc.wire_cap / (k + 1) + c_in
+
+    # -- design-level accounting ---------------------------------------------------
+
+    @property
+    def num_repeaters(self) -> int:
+        return sum(self.counts.values())
+
+    def added_area(self) -> float:
+        return self.num_repeaters * self.repeater.area
+
+    def added_pin_cap(self) -> float:
+        return self.num_repeaters * self.repeater.pins[0].capacitance
+
+    def added_leakage(self) -> float:
+        return self.num_repeaters * self.repeater.leakage
+
+    def added_energy_per_toggle(self) -> float:
+        return self.num_repeaters * self.repeater.internal_energy
+
+
+def plan_buffers(
+    parasitics: DesignParasitics,
+    library: StdCellLibrary,
+    repeater_cell: str = REPEATER_CELL,
+) -> BufferPlan:
+    """Plan repeaters for every sink whose raw wire delay warrants them.
+
+    The parasitics passed in are the ones the optimising flow *believes*:
+    the true stack for 2D and Macro-3D, the pseudo design for S2D/C2D.
+    """
+    plan = BufferPlan(repeater=library.cell(repeater_cell))
+    plan.delay_derate = parasitics.corner.delay_derate
+    for name, rc in parasitics.nets.items():
+        for sink, delay in rc.elmore.items():
+            if delay < MIN_DELAY_FOR_BUFFERING:
+                continue
+            r = rc.path_r.get(sink, 0.0)
+            c = rc.path_c.get(sink, 0.0)
+            length = rc.sink_wirelength.get(sink, 0.0)
+            blocked = rc.path_blocked.get(sink, 0.0)
+            free_length = length * max(0.0, 1.0 - blocked)
+            k_cap = int(free_length / REPEATER_SPACING)
+            if k_cap == 0 and free_length >= REPEATER_SPACING / 2.0:
+                k_cap = 1  # one repeater at the array boundary
+            is_tree = len(rc.elmore) >= TREE_FANOUT
+            ratio = _tree_ratio(rc, sink) if is_tree else 1.0
+            buf = plan.repeater
+            stage = (
+                buf.intrinsic_delay
+                + buf.drive_resistance * buf.pins[0].capacitance * 1.0e-3
+            ) if is_tree else 0.0
+            best_k, best_d = 0, delay
+            for k in range(1, k_cap + 1):
+                d = stage + plan.split_delay(r * ratio, c * ratio, blocked, k)
+                if d < best_d:
+                    best_k, best_d = k, d
+            if best_k > 0:
+                plan.counts[(name, sink)] = best_k
+    return plan

@@ -1,0 +1,156 @@
+"""Critical-path gate sizing.
+
+A greedy commercial-style loop: run STA, walk the critical path, bump
+every driver on it one drive strength, repeat while fmax improves.  The
+sizing mutates instance masters in place (flows own their netlists); the
+result records every change so Alogic-cells and Cpin deltas can be
+reported — the paper attributes the slight area/pin-capacitance increase
+of the Macro-3D designs to exactly these upsized drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cells.library import StdCellLibrary
+from repro.cells.stdcell import StdCell
+from repro.extract.rc import DesignParasitics
+from repro.netlist.core import Instance, Netlist
+from repro.opt.buffering import BufferPlan
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import StaResult, net_slacks, run_sta
+
+
+@dataclass
+class SizingResult:
+    """Outcome of the sizing loop."""
+
+    #: Final STA after sizing.
+    sta: StaResult
+    #: Instance name -> (old master name, new master name).
+    changes: Dict[str, tuple] = field(default_factory=dict)
+    iterations: int = 0
+
+    @property
+    def num_upsized(self) -> int:
+        return len(self.changes)
+
+
+def size_for_timing(
+    netlist: Netlist,
+    graph: TimingGraph,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    constraints: TimingConstraints,
+    library: StdCellLibrary,
+    max_iterations: int = 25,
+    target_period: Optional[float] = None,
+) -> SizingResult:
+    """Upsize drivers along the critical path until fmax stops improving.
+
+    Only combinational cells and flops are resized; macros are fixed.
+    Changing a master updates both its drive resistance (helping the path)
+    and its input pin capacitance (loading the upstream net) — STA sees
+    both because it reads masters live.
+    """
+    result = SizingResult(sta=run_sta(graph, parasitics, plan, constraints))
+    misses = 0
+    for iteration in range(max_iterations):
+        if target_period is not None and result.sta.min_period <= target_period:
+            break  # iso-performance runs stop once the target closes
+        period = result.sta.min_period
+        slacks = net_slacks(graph, parasitics, plan, constraints, period)
+        if not slacks:
+            break
+        # Upsize every driver inside the critical window — whole walls of
+        # near-critical paths move together instead of one path per pass.
+        window = max(10.0, 0.02 * period)
+        saved: List[tuple] = []
+        for net in netlist.nets:
+            slack = slacks.get(net.id)
+            if slack is None or slack > window or net.driver is None:
+                continue
+            obj, _pin = net.driver
+            if not isinstance(obj, Instance) or obj.is_macro:
+                continue
+            master = obj.master
+            assert isinstance(master, StdCell)
+            stronger = library.next_drive_up(master)
+            if stronger is None:
+                continue
+            saved.append((obj, master))
+            obj.master = stronger
+        if not saved:
+            break
+        candidate = run_sta(graph, parasitics, plan, constraints)
+        if candidate.min_period < result.sta.min_period - 1e-9:
+            for obj, old in saved:
+                entry = result.changes.get(obj.name)
+                original = entry[0] if entry else old.name
+                result.changes[obj.name] = (original, obj.master.name)
+            result.sta = candidate
+            result.iterations = iteration + 1
+            misses = 0
+        else:
+            # Roll back the speculative upsizes; allow one retry with a
+            # fresh window before giving up (load changes shift slacks).
+            for obj, old in saved:
+                obj.master = old
+            misses += 1
+            if misses >= 2:
+                break
+    return result
+
+
+def size_for_load(
+    netlist: Netlist,
+    parasitics: DesignParasitics,
+    library: StdCellLibrary,
+    target_stage_delay: float = 60.0,
+) -> int:
+    """Global load-driven sizing: the pass synthesis/placement opt does.
+
+    Every standard-cell driver is bumped to the smallest drive whose
+    ``intrinsic + R * C_load`` stays under ``target_stage_delay`` (ps, at
+    the corner of ``parasitics``) — or the strongest family member when
+    no drive reaches it.  Returns the number of resized instances.
+
+    Like every optimization in these flows, the pass trusts whatever
+    parasitics it is given: the S2D/C2D pseudo views size against wrong
+    loads here.
+    """
+    derate = parasitics.corner.delay_derate
+    resized = 0
+    for name, rc in parasitics.nets.items():
+        net = rc.net
+        if net.driver is None:
+            continue
+        obj, _pin = net.driver
+        if not isinstance(obj, Instance) or obj.is_macro:
+            continue
+        master = obj.master
+        assert isinstance(master, StdCell)
+        family = library.family_of(master)
+        chosen = family[-1]
+        for candidate in family:
+            load = rc.wire_cap + rc.live_pin_cap
+            delay = derate * (
+                candidate.intrinsic_delay
+                + candidate.drive_resistance * load * 1.0e-3
+            )
+            if delay <= target_stage_delay:
+                chosen = candidate
+                break
+        if chosen is not master:
+            obj.master = chosen
+            resized += 1
+    return resized
+
+
+def restore_sizing(netlist: Netlist, result: SizingResult,
+                   library: StdCellLibrary) -> None:
+    """Undo a sizing result (used by flows that must re-baseline)."""
+    for name, (old_name, _new_name) in result.changes.items():
+        netlist.instance(name).master = library.cell(old_name)

@@ -1,0 +1,14 @@
+"""Standard-cell placement: capacity grid, global placement, legalization."""
+
+from repro.place.capacity import CapacityGrid
+from repro.place.global_place import GlobalPlacerOptions, Placement, global_place
+from repro.place.legalize import LegalizeResult, legalize
+
+__all__ = [
+    "CapacityGrid",
+    "GlobalPlacerOptions",
+    "Placement",
+    "global_place",
+    "LegalizeResult",
+    "legalize",
+]

@@ -1,0 +1,101 @@
+"""Placement capacity grid.
+
+The placer sees the floorplan through a grid of bins, each holding the
+standard-cell area it can absorb.  Blockages remove capacity in
+proportion to their density — a partial (50 %) S2D blockage leaves half
+the bin usable.  The grid resolution is finite, exactly like the density
+grids inside commercial placers; the paper blames this resolution for the
+post-partitioning overlaps of S2D/C2D, and the same effect emerges here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.floorplan.floorplan import Floorplan
+from repro.geom import Rect
+
+
+class CapacityGrid:
+    """A ``nx x ny`` grid of free placement area over a floorplan."""
+
+    def __init__(self, floorplan: Floorplan, nx: int, ny: int):
+        if nx <= 0 or ny <= 0:
+            raise ValueError("grid dimensions must be positive")
+        self.floorplan = floorplan
+        self.nx = nx
+        self.ny = ny
+        outline = floorplan.outline
+        self.bin_w = outline.width / nx
+        self.bin_h = outline.height / ny
+        #: free area (um2) per bin after utilization derating.
+        self.capacity = np.full(
+            (nx, ny), self.bin_w * self.bin_h * floorplan.utilization
+        )
+        for blockage in floorplan.blockages:
+            self._remove(blockage.rect, blockage.density)
+
+    @classmethod
+    def for_cell_count(cls, floorplan: Floorplan, num_cells: int) -> "CapacityGrid":
+        """Pick a resolution so bins hold a few dozen cells each."""
+        bins = max(4, int(math.sqrt(max(num_cells, 1) / 24.0)))
+        return cls(floorplan, bins, bins)
+
+    def _remove(self, rect: Rect, density: float) -> None:
+        outline = self.floorplan.outline
+        x0 = max(0, int((rect.xlo - outline.xlo) / self.bin_w))
+        x1 = min(self.nx - 1, int((rect.xhi - outline.xlo) / self.bin_w))
+        y0 = max(0, int((rect.ylo - outline.ylo) / self.bin_h))
+        y1 = min(self.ny - 1, int((rect.yhi - outline.ylo) / self.bin_h))
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                bin_rect = self.bin_rect(ix, iy)
+                overlap = bin_rect.overlap_area(rect)
+                # Scale by utilization so capacity stays area-consistent.
+                removed = overlap * density * self.floorplan.utilization
+                self.capacity[ix, iy] = max(0.0, self.capacity[ix, iy] - removed)
+
+    # -- queries -----------------------------------------------------------------
+
+    def bin_rect(self, ix: int, iy: int) -> Rect:
+        outline = self.floorplan.outline
+        return Rect(
+            outline.xlo + ix * self.bin_w,
+            outline.ylo + iy * self.bin_h,
+            outline.xlo + (ix + 1) * self.bin_w,
+            outline.ylo + (iy + 1) * self.bin_h,
+        )
+
+    def bin_center(self, ix: int, iy: int) -> Tuple[float, float]:
+        outline = self.floorplan.outline
+        return (
+            outline.xlo + (ix + 0.5) * self.bin_w,
+            outline.ylo + (iy + 0.5) * self.bin_h,
+        )
+
+    def bin_of(self, x: float, y: float) -> Tuple[int, int]:
+        outline = self.floorplan.outline
+        ix = int((x - outline.xlo) / self.bin_w)
+        iy = int((y - outline.ylo) / self.bin_h)
+        return (min(max(ix, 0), self.nx - 1), min(max(iy, 0), self.ny - 1))
+
+    @property
+    def total_capacity(self) -> float:
+        return float(self.capacity.sum())
+
+    def occupancy(self, x: np.ndarray, y: np.ndarray, areas: np.ndarray) -> np.ndarray:
+        """Cell area accumulated per bin for the given placement."""
+        outline = self.floorplan.outline
+        ix = np.clip(((x - outline.xlo) / self.bin_w).astype(int), 0, self.nx - 1)
+        iy = np.clip(((y - outline.ylo) / self.bin_h).astype(int), 0, self.ny - 1)
+        occupancy = np.zeros((self.nx, self.ny))
+        np.add.at(occupancy, (ix, iy), areas)
+        return occupancy
+
+    def overflow(self, x: np.ndarray, y: np.ndarray, areas: np.ndarray) -> float:
+        """Total cell area exceeding bin capacity — 0 means fully spread."""
+        over = self.occupancy(x, y, areas) - self.capacity
+        return float(np.clip(over, 0.0, None).sum())

@@ -1,0 +1,160 @@
+"""Detailed placement: swap-based wirelength refinement.
+
+Capacity-driven spreading occasionally banishes a weakly-anchored cell
+into a distant free pocket (the only capacity left in its bisection
+region), stretching its nets across the die.  Commercial flows clean
+such outliers up during detailed placement; this pass does the same:
+
+1. rank movable cells by *stretch* — distance from the cell to the
+   centroid of its connected pins;
+2. for the most-stretched cells, look for a swap partner of similar
+   width near that centroid;
+3. accept the swap when the summed HPWL of all affected nets decreases.
+
+Swapping (rather than moving) preserves row legality wherever widths
+match; the small width mismatches allowed are within the abstraction of
+global placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netlist.core import Instance, Net
+from repro.place.global_place import Placement
+
+
+@dataclass
+class RefineResult:
+    """Outcome of the refinement pass."""
+
+    swaps: int
+    hpwl_before: float
+    hpwl_after: float
+
+    @property
+    def improvement(self) -> float:
+        if self.hpwl_before <= 0:
+            return 0.0
+        return (self.hpwl_before - self.hpwl_after) / self.hpwl_before
+
+
+def _cell_nets(inst: Instance, max_degree: int) -> List[Net]:
+    return [
+        net
+        for net in inst.connections.values()
+        if not net.is_clock and 2 <= net.degree <= max_degree
+    ]
+
+
+def _nets_hpwl(placement: Placement, nets: Sequence[Net]) -> float:
+    return sum(placement.net_hpwl(net) for net in nets)
+
+
+def refine_placement(
+    placement: Placement,
+    passes: int = 4,
+    stretch_fraction: float = 0.15,
+    width_tolerance: float = 0.3,
+    max_degree: int = 32,
+) -> RefineResult:
+    """Swap-refine the most-stretched cells of a placement, in place."""
+    netlist = placement.netlist
+    movable = [
+        inst for inst in netlist.instances if placement.movable[inst.id]
+    ]
+    if not movable:
+        return RefineResult(0, 0.0, 0.0)
+
+    hpwl_before = placement.total_hpwl()
+    swaps = 0
+
+    for _sweep in range(passes):
+        # Spatial buckets for partner lookup.
+        outline = placement.floorplan.outline
+        bucket = max(outline.width, outline.height) / 32.0
+        buckets: Dict[Tuple[int, int], List[Instance]] = {}
+        for inst in movable:
+            key = (
+                int((placement.x[inst.id] - outline.xlo) / bucket),
+                int((placement.y[inst.id] - outline.ylo) / bucket),
+            )
+            buckets.setdefault(key, []).append(inst)
+
+        # Stretch ranking.
+        stretched: List[Tuple[float, Instance, float, float]] = []
+        for inst in movable:
+            nets = _cell_nets(inst, max_degree)
+            if not nets:
+                continue
+            sx = sy = 0.0
+            count = 0
+            for net in nets:
+                for term in net.terms:
+                    obj, _pin = term
+                    if obj is inst:
+                        continue
+                    point = placement.term_position(term)
+                    sx += point.x
+                    sy += point.y
+                    count += 1
+            if count == 0:
+                continue
+            cx, cy = sx / count, sy / count
+            stretch = abs(placement.x[inst.id] - cx) + abs(
+                placement.y[inst.id] - cy
+            )
+            stretched.append((stretch, inst, cx, cy))
+        stretched.sort(key=lambda item: -item[0])
+        worst = stretched[: max(1, int(len(stretched) * stretch_fraction))]
+
+        moved_this_pass = 0
+        for stretch, inst, cx, cy in worst:
+            if stretch < bucket:
+                continue
+            key = (
+                int((cx - outline.xlo) / bucket),
+                int((cy - outline.ylo) / bucket),
+            )
+            candidates: List[Tuple[float, Instance]] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for cand in buckets.get((key[0] + dx, key[1] + dy), []):
+                        if cand is inst:
+                            continue
+                        rel = abs(cand.master.width - inst.master.width)
+                        if rel > width_tolerance * inst.master.width:
+                            continue
+                        d = abs(placement.x[cand.id] - cx) + abs(
+                            placement.y[cand.id] - cy
+                        )
+                        candidates.append((d, cand))
+            candidates.sort(key=lambda item: item[0])
+            for _d, partner in candidates[:8]:
+                nets = list(
+                    {
+                        net.name: net
+                        for net in _cell_nets(inst, max_degree)
+                        + _cell_nets(partner, max_degree)
+                    }.values()
+                )
+                before = _nets_hpwl(placement, nets)
+                ix, iy = placement.x[inst.id], placement.y[inst.id]
+                px, py = placement.x[partner.id], placement.y[partner.id]
+                placement.x[inst.id], placement.y[inst.id] = px, py
+                placement.x[partner.id], placement.y[partner.id] = ix, iy
+                after = _nets_hpwl(placement, nets)
+                if after < before - 1e-9:
+                    swaps += 1
+                    moved_this_pass += 1
+                    break
+                placement.x[inst.id], placement.y[inst.id] = ix, iy
+                placement.x[partner.id], placement.y[partner.id] = px, py
+        if moved_this_pass == 0:
+            break
+
+    return RefineResult(swaps, hpwl_before, placement.total_hpwl())

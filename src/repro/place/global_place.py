@@ -1,0 +1,398 @@
+"""Quadratic global placement with capacity-aware spreading.
+
+The algorithm is the SimPL family used by commercial engines:
+
+1. Solve the quadratic (clique/star) wirelength model with fixed macro
+   pins and IO ports as boundary conditions (conjugate gradient on a
+   sparse Laplacian, one solve per axis).
+2. Spread the clumped solution into the free capacity of the floorplan by
+   capacity-weighted recursive bisection over a
+   :class:`~repro.place.capacity.CapacityGrid`.
+3. Anchor every cell to its spread target with a weight that grows each
+   iteration and re-solve, pulling connectivity and density into balance.
+
+Partial blockages (S2D/C2D) enter through the capacity grid, at finite
+bin resolution — the same mechanism that produces post-partitioning
+overlaps in the paper's experiments with commercial tools.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.cells.macro import Macro
+from repro.floorplan.floorplan import Floorplan
+from repro.geom import Point, Rect
+from repro.netlist.core import Instance, Net, Netlist, Port
+from repro.place.capacity import CapacityGrid
+
+
+@dataclass(frozen=True)
+class GlobalPlacerOptions:
+    """Knobs of the global placer."""
+
+    #: Outer solve/spread iterations.
+    iterations: int = 7
+    #: Initial anchor weight relative to net weights; doubles per iteration.
+    anchor_weight: float = 0.02
+    #: Nets up to this degree use a clique model; larger nets use a star
+    #: to their running centroid.
+    clique_max_degree: int = 8
+    #: Nets above this degree are ignored for attraction (resets/scan).
+    ignore_degree: int = 64
+    #: Optional explicit grid resolution; derived from cell count if None.
+    grid_bins: Optional[int] = None
+    #: Weight (relative to the mean net weight) pulling every cell toward
+    #: its module's centroid.  Hierarchical designs are floorplanned with
+    #: module guides — the paper's floorplans are hand-optimized per
+    #: module — and this cohesion term keeps modules from interleaving
+    #: and stops spreading from teleporting stragglers across the die.
+    module_cohesion: float = 0.15
+    seed: int = 7
+
+
+class Placement:
+    """A placement of every instance of a netlist inside a floorplan.
+
+    ``x``/``y`` hold the *center* of each instance, indexed by
+    ``instance.id``.  Macro positions come from the floorplan and are
+    immutable; standard cells move.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        floorplan: Floorplan,
+        port_locations: Dict[str, Point],
+    ):
+        self.netlist = netlist
+        self.floorplan = floorplan
+        self.port_locations = dict(port_locations)
+        n = netlist.num_instances
+        self.x = np.zeros(n)
+        self.y = np.zeros(n)
+        self.movable = np.ones(n, dtype=bool)
+        center = floorplan.outline.center
+        self.x[:] = center.x
+        self.y[:] = center.y
+        for inst in netlist.instances:
+            rect = floorplan.macro_placements.get(inst.name)
+            if rect is not None:
+                self.x[inst.id] = rect.center.x
+                self.y[inst.id] = rect.center.y
+                self.movable[inst.id] = False
+            elif inst.fixed and inst.is_macro:
+                raise ValueError(f"macro {inst.name} has no floorplan location")
+
+    # -- pin positions --------------------------------------------------------------
+
+    def instance_origin(self, inst: Instance) -> Point:
+        rect = self.floorplan.macro_placements.get(inst.name)
+        if rect is not None:
+            return Point(rect.xlo, rect.ylo)
+        master = inst.master
+        return Point(
+            self.x[inst.id] - master.width / 2.0,
+            self.y[inst.id] - master.height / 2.0,
+        )
+
+    def pin_position(self, inst: Instance, pin_name: str) -> Point:
+        """Physical location of an instance pin.
+
+        Standard-cell pins are approximated by the cell center (cells are
+        a few sites wide); macro pins use their exact LEF offset.
+        """
+        if inst.is_macro:
+            master = inst.master
+            assert isinstance(master, Macro)
+            origin = self.instance_origin(inst)
+            offset = master.pin(pin_name).offset
+            return Point(origin.x + offset.x, origin.y + offset.y)
+        return Point(self.x[inst.id], self.y[inst.id])
+
+    def term_position(self, term: Tuple[object, str]) -> Point:
+        obj, pin = term
+        if isinstance(obj, Instance):
+            return self.pin_position(obj, pin)
+        assert isinstance(obj, Port)
+        return self.port_locations[obj.name]
+
+    def net_points(self, net: Net) -> List[Point]:
+        return [self.term_position(term) for term in net.terms]
+
+    def net_hpwl(self, net: Net) -> float:
+        points = self.net_points(net)
+        if len(points) < 2:
+            return 0.0
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def total_hpwl(self, include_clock: bool = False) -> float:
+        total = 0.0
+        for net in self.netlist.nets:
+            if net.is_clock and not include_clock:
+                continue
+            total += self.net_hpwl(net)
+        return total
+
+    def copy(self) -> "Placement":
+        clone = Placement.__new__(Placement)
+        clone.netlist = self.netlist
+        clone.floorplan = self.floorplan
+        clone.port_locations = dict(self.port_locations)
+        clone.x = self.x.copy()
+        clone.y = self.y.copy()
+        clone.movable = self.movable.copy()
+        return clone
+
+
+# -- connectivity extraction ---------------------------------------------------------
+
+
+class _Connectivity:
+    """Sparse quadratic model: movable-movable edges and movable-fixed pulls."""
+
+    def __init__(self, num_movable: int):
+        self.n = num_movable
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.vals: List[float] = []
+        self.diag = np.zeros(num_movable)
+        self.bx = np.zeros(num_movable)
+        self.by = np.zeros(num_movable)
+
+    def add_pair(self, i: int, j: int, w: float) -> None:
+        self.rows.append(i)
+        self.cols.append(j)
+        self.vals.append(-w)
+        self.rows.append(j)
+        self.cols.append(i)
+        self.vals.append(-w)
+        self.diag[i] += w
+        self.diag[j] += w
+
+    def add_fixed(self, i: int, fx: float, fy: float, w: float) -> None:
+        self.diag[i] += w
+        self.bx[i] += w * fx
+        self.by[i] += w * fy
+
+    def matrix(self, extra_diag: np.ndarray) -> sp.csr_matrix:
+        mat = sp.coo_matrix(
+            (self.vals, (self.rows, self.cols)), shape=(self.n, self.n)
+        ).tocsr()
+        mat = mat + sp.diags(self.diag + extra_diag)
+        return mat
+
+
+def _build_connectivity(
+    netlist: Netlist,
+    placement: Placement,
+    movable_index: Dict[int, int],
+    options: GlobalPlacerOptions,
+) -> Tuple[_Connectivity, List[Tuple[List[int], float]]]:
+    """Build the quadratic model.
+
+    Returns the connectivity plus the list of star nets as (movable pin
+    indices, weight); their centroid pulls are refreshed every iteration.
+    """
+    conn = _Connectivity(len(movable_index))
+    star_nets: List[Tuple[List[int], float]] = []
+    for net in netlist.nets:
+        if net.is_clock or net.degree < 2 or net.degree > options.ignore_degree:
+            continue
+        movers: List[int] = []
+        fixed: List[Point] = []
+        for term in net.terms:
+            obj, _pin = term
+            if isinstance(obj, Instance) and placement.movable[obj.id]:
+                movers.append(movable_index[obj.id])
+            else:
+                fixed.append(placement.term_position(term))
+        if not movers:
+            continue
+        degree = net.degree
+        if degree <= options.clique_max_degree:
+            w = 2.0 / degree
+            for a in range(len(movers)):
+                for b in range(a + 1, len(movers)):
+                    conn.add_pair(movers[a], movers[b], w)
+                for point in fixed:
+                    conn.add_fixed(movers[a], point.x, point.y, w)
+        else:
+            w = 4.0 / degree
+            if fixed:
+                fx = sum(p.x for p in fixed) / len(fixed)
+                fy = sum(p.y for p in fixed) / len(fixed)
+                for i in movers:
+                    conn.add_fixed(i, fx, fy, w)
+            star_nets.append((movers, w))
+    return conn, star_nets
+
+
+# -- spreading -----------------------------------------------------------------------
+
+
+def _spread_targets(
+    x: np.ndarray,
+    y: np.ndarray,
+    areas: np.ndarray,
+    grid: CapacityGrid,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Capacity-weighted recursive bisection; returns per-cell targets."""
+    tx = np.empty_like(x)
+    ty = np.empty_like(y)
+    cap_x = grid.capacity  # indexed [ix, iy]
+
+    def recurse(ix0: int, ix1: int, iy0: int, iy1: int, cells: np.ndarray) -> None:
+        if cells.size == 0:
+            return
+        if ix1 - ix0 == 1 and iy1 - iy0 == 1:
+            cx, cy = grid.bin_center(ix0, iy0)
+            # Deterministic low-discrepancy jitter inside the bin keeps
+            # same-bin cells distinguishable for legalization.
+            k = np.arange(cells.size)
+            tx[cells] = cx + (((k * 0.754) % 1.0) - 0.5) * grid.bin_w * 0.8
+            ty[cells] = cy + (((k * 0.569) % 1.0) - 0.5) * grid.bin_h * 0.8
+            return
+        split_vertical = (ix1 - ix0) >= (iy1 - iy0)
+        if split_vertical:
+            caps = cap_x[ix0:ix1, iy0:iy1].sum(axis=1)
+            coords = x[cells]
+        else:
+            caps = cap_x[ix0:ix1, iy0:iy1].sum(axis=0)
+            coords = y[cells]
+        total_cap = caps.sum()
+        order = cells[np.argsort(coords, kind="stable")]
+        cell_areas = areas[order]
+        total_area = cell_areas.sum()
+        # Candidate split points are bin boundaries; pick the one closest
+        # to halving the capacity, then split cell area in proportion.
+        cum = np.cumsum(caps)
+        if total_cap <= 0.0:
+            half = len(caps) // 2
+        else:
+            half = int(np.argmin(np.abs(cum - total_cap / 2.0))) + 1
+        half = min(max(half, 1), len(caps) - 1)
+        cap_left = cum[half - 1]
+        frac = 0.5 if total_cap <= 0 else cap_left / total_cap
+        if total_area <= 0:
+            count_left = order.size // 2
+        else:
+            cum_area = np.cumsum(cell_areas)
+            count_left = int(np.searchsorted(cum_area, frac * total_area))
+        count_left = min(max(count_left, 0), order.size)
+        left, right = order[:count_left], order[count_left:]
+        if split_vertical:
+            recurse(ix0, ix0 + half, iy0, iy1, left)
+            recurse(ix0 + half, ix1, iy0, iy1, right)
+        else:
+            recurse(ix0, ix1, iy0, iy0 + half, left)
+            recurse(ix0, ix1, iy0 + half, iy1, right)
+
+    recurse(0, grid.nx, 0, grid.ny, np.arange(x.size))
+    return tx, ty
+
+
+# -- main entry ------------------------------------------------------------------------
+
+
+def global_place(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    port_locations: Dict[str, Point],
+    options: GlobalPlacerOptions = GlobalPlacerOptions(),
+    module_anchors: Optional[Dict[str, Point]] = None,
+) -> Placement:
+    """Globally place the movable standard cells of ``netlist``.
+
+    ``module_anchors`` (module name -> point) turns the cohesion term
+    into fixed placement guides — see :mod:`repro.place.regions`.
+    """
+    placement = Placement(netlist, floorplan, port_locations)
+    movable_ids = [inst.id for inst in netlist.instances if placement.movable[inst.id]]
+    if not movable_ids:
+        return placement
+    movable_index = {inst_id: k for k, inst_id in enumerate(movable_ids)}
+    n = len(movable_ids)
+    areas = np.array(
+        [netlist.instances[i].area for i in movable_ids]
+    )
+
+    grid = (
+        CapacityGrid(floorplan, options.grid_bins, options.grid_bins)
+        if options.grid_bins
+        else CapacityGrid.for_cell_count(floorplan, n)
+    )
+
+    conn, star_nets = _build_connectivity(netlist, placement, movable_index, options)
+    center = floorplan.outline.center
+    # Tiny pull to the center keeps the system positive definite even for
+    # cells with no fixed connection.
+    regularisation = 1e-6
+
+    x = np.full(n, center.x)
+    y = np.full(n, center.y)
+    rng = np.random.default_rng(options.seed)
+    x += rng.normal(0.0, floorplan.outline.width * 0.01, n)
+    y += rng.normal(0.0, floorplan.outline.height * 0.01, n)
+
+    mean_weight = conn.diag.mean() if conn.diag.size else 1.0
+    anchor_w = options.anchor_weight * max(mean_weight, 1e-9)
+    targets: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    # Module cohesion groups: instance-name prefix up to the first "/".
+    module_groups: List[Tuple[np.ndarray, Optional[Point]]] = []
+    if options.module_cohesion > 0.0:
+        by_module: Dict[str, List[int]] = {}
+        for inst_id in movable_ids:
+            name = netlist.instances[inst_id].name
+            module = name.split("/", 1)[0]
+            by_module.setdefault(module, []).append(movable_index[inst_id])
+        for module, members in by_module.items():
+            if len(members) <= 8:
+                continue
+            anchor = module_anchors.get(module) if module_anchors else None
+            module_groups.append((np.array(members), anchor))
+    cohesion_w = options.module_cohesion * max(mean_weight, 1e-9)
+
+    for iteration in range(options.iterations):
+        extra = np.full(n, regularisation)
+        bx = conn.bx + regularisation * center.x
+        by = conn.by + regularisation * center.y
+        # Star nets pull their movable pins to the running centroid.
+        for movers, w in star_nets:
+            cx = x[movers].mean()
+            cy = y[movers].mean()
+            extra[movers] += w
+            bx[movers] += w * cx
+            by[movers] += w * cy
+        for members, anchor in module_groups:
+            extra[members] += cohesion_w
+            ax = anchor.x if anchor is not None else x[members].mean()
+            ay = anchor.y if anchor is not None else y[members].mean()
+            bx[members] += cohesion_w * ax
+            by[members] += cohesion_w * ay
+        if targets is not None:
+            weight = anchor_w * (2.0 ** iteration)
+            extra += weight
+            bx = bx + weight * targets[0]
+            by = by + weight * targets[1]
+        mat = conn.matrix(extra)
+        x_new, _ = spla.cg(mat, bx, x0=x, rtol=1e-6, maxiter=300)
+        y_new, _ = spla.cg(mat, by, x0=y, rtol=1e-6, maxiter=300)
+        x, y = x_new, y_new
+        targets = _spread_targets(x, y, areas, grid)
+
+    # Final positions: the spread targets, clamped into the outline.
+    assert targets is not None
+    outline = floorplan.outline
+    placement.x[movable_ids] = np.clip(targets[0], outline.xlo, outline.xhi)
+    placement.y[movable_ids] = np.clip(targets[1], outline.ylo, outline.yhi)
+    return placement

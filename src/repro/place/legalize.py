@@ -1,0 +1,279 @@
+"""Row-based legalization (Tetris/Abacus family).
+
+Cells are snapped into standard-cell rows, skipping hard blockages.
+Partial blockages — the 50 % blockages of the S2D/C2D pseudo designs —
+become *capacity-limited* intervals: the legalizer packs cells into them
+up to the remaining capacity fraction, which is legal for the pseudo
+design but produces physical overlaps once the other die's macro
+reappears after tier partitioning.  The displacement cost of fixing those
+overlaps is exactly the S2D/C2D penalty the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.floorplan.floorplan import Floorplan
+from repro.place.global_place import Placement
+
+#: Blockage densities at or above this are treated as hard.
+HARD_DENSITY = 0.99
+
+
+@dataclass
+class _Interval:
+    """A free span within a row, possibly capacity-limited."""
+
+    xlo: float
+    xhi: float
+    #: Fraction of the span's width available (1.0 for fully free spans).
+    capacity_fraction: float = 1.0
+    used: float = 0.0
+    #: Right edge of the packed prefix (full intervals only), relative to xlo.
+    edge: float = 0.0
+
+    @property
+    def width(self) -> float:
+        return self.xhi - self.xlo
+
+    @property
+    def capacity(self) -> float:
+        return self.width * self.capacity_fraction
+
+    def candidate_center(self, cell_width: float,
+                         desired_x: float) -> Optional[float]:
+        """Where a cell would land, without committing."""
+        if self.capacity_fraction >= 1.0 - 1e-9:
+            x_left = max(self.xlo + self.edge, desired_x - cell_width / 2.0)
+            # Clamp into the span from the right: a cell whose target lies
+            # beyond the interval can still legally sit at its right end.
+            x_left = min(x_left, self.xhi - cell_width)
+            if x_left < self.xlo + self.edge - 1e-9:
+                return None  # no room left in this interval
+            return x_left + cell_width / 2.0
+        if self.used + cell_width > self.capacity + 1e-9:
+            return None
+        fraction = self.used / self.capacity if self.capacity > 0 else 0.0
+        x_left = self.xlo + fraction * (self.width - cell_width)
+        return x_left + cell_width / 2.0
+
+    def try_fit(self, cell_width: float, desired_x: float) -> Optional[float]:
+        """Reserve space for a cell; returns its center x or None.
+
+        Full intervals pack left-to-right but honor the desired position
+        (Tetris): a cell never moves left of its target unless pushed by
+        an earlier cell.  Capacity-limited (pseudo) intervals spread
+        their cells proportionally across the physical span.
+        """
+        center = self.candidate_center(cell_width, desired_x)
+        if center is None:
+            return None
+        if self.capacity_fraction >= 1.0 - 1e-9:
+            self.edge = center + cell_width / 2.0 - self.xlo
+        self.used += cell_width
+        return center
+
+    def force_fit(self, cell_width: float) -> float:
+        """Place a cell regardless of remaining capacity (overflow fix).
+
+        Used when a die simply lacks room — the S2D macro-die situation.
+        Cells wrap around the span, physically overlapping; the recorded
+        displacement is what degrades the design.
+        """
+        span = max(self.width - cell_width, 1e-6)
+        x_left = self.xlo + (self.used % span)
+        self.used += cell_width
+        return x_left + cell_width / 2.0
+
+
+@dataclass
+class _Row:
+    y_center: float
+    intervals: List[_Interval] = field(default_factory=list)
+
+
+@dataclass
+class LegalizeResult:
+    """Outcome of legalization."""
+
+    placement: Placement
+    #: Per-movable-cell displacement in um (indexed like the netlist ids,
+    #: zeros for fixed instances).
+    displacement: np.ndarray
+    #: Cells that could not be placed in any row (should be zero).
+    failures: int
+    #: Cells force-placed beyond row capacity (physical overlaps that a
+    #: real flow would spend enormous effort "fixing"; S2D territory).
+    forced: int = 0
+
+    @property
+    def mean_displacement(self) -> float:
+        moved = self.displacement[self.displacement > 0]
+        return float(moved.mean()) if moved.size else 0.0
+
+    @property
+    def max_displacement(self) -> float:
+        return float(self.displacement.max()) if self.displacement.size else 0.0
+
+
+def _build_rows(
+    floorplan: Floorplan, row_height: float, honor_partial: bool
+) -> List[_Row]:
+    outline = floorplan.outline
+    num_rows = int(outline.height / row_height)
+    rows: List[_Row] = []
+    hard = [b for b in floorplan.blockages if b.density >= HARD_DENSITY]
+    partial = [b for b in floorplan.blockages if b.density < HARD_DENSITY]
+    for r in range(num_rows):
+        ylo = outline.ylo + r * row_height
+        yhi = ylo + row_height
+        y_center = (ylo + yhi) / 2.0
+        # Subtract hard blockage spans from the row.
+        spans: List[Tuple[float, float]] = [(outline.xlo, outline.xhi)]
+        for blockage in hard:
+            rect = blockage.rect
+            if rect.yhi <= ylo + 1e-9 or rect.ylo >= yhi - 1e-9:
+                continue
+            next_spans: List[Tuple[float, float]] = []
+            for (slo, shi) in spans:
+                if rect.xhi <= slo or rect.xlo >= shi:
+                    next_spans.append((slo, shi))
+                    continue
+                if rect.xlo > slo:
+                    next_spans.append((slo, rect.xlo))
+                if rect.xhi < shi:
+                    next_spans.append((rect.xhi, shi))
+            spans = next_spans
+        row = _Row(y_center=y_center)
+        for (slo, shi) in spans:
+            if shi - slo < 1e-6:
+                continue
+            # Partial blockages accumulate: two stacked 50 % blockages
+            # (a macro in each die at the same spot) remove the whole
+            # span.  The test is at span resolution — finite, like the
+            # commercial engines the paper analyses.
+            removed = 0.0
+            if honor_partial:
+                for blockage in partial:
+                    rect = blockage.rect
+                    if rect.yhi <= ylo or rect.ylo >= yhi:
+                        continue
+                    overlap = min(shi, rect.xhi) - max(slo, rect.xlo)
+                    if overlap > (shi - slo) * 0.5:
+                        removed += blockage.density
+            fraction = max(0.0, 1.0 - removed)
+            if fraction > 0.0:
+                row.intervals.append(_Interval(slo, shi, fraction))
+        rows.append(row)
+    return rows
+
+
+def legalize(
+    placement: Placement,
+    row_height: float,
+    honor_partial: bool = True,
+) -> LegalizeResult:
+    """Legalize the movable cells of ``placement`` into rows.
+
+    Returns a new placement; the input is not modified.
+    """
+    floorplan = placement.floorplan
+    netlist = placement.netlist
+    result = placement.copy()
+    rows = _build_rows(floorplan, row_height, honor_partial)
+    if not rows:
+        raise ValueError("floorplan has no standard-cell rows")
+
+    movable = [
+        inst for inst in netlist.instances if placement.movable[inst.id]
+    ]
+    # Tetris order: left to right, which keeps displacement local.
+    movable.sort(key=lambda inst: (placement.x[inst.id], placement.y[inst.id]))
+
+    displacement = np.zeros(netlist.num_instances)
+    failures = 0
+    forced = 0
+    overflow: List[Instance] = []
+    num_rows = len(rows)
+    for inst in movable:
+        cx = placement.x[inst.id]
+        cy = placement.y[inst.id]
+        width = inst.master.width
+        target_row = int((cy - floorplan.outline.ylo) / row_height)
+        target_row = min(max(target_row, 0), num_rows - 1)
+        best: Optional[Tuple[float, float, float, _Interval]] = None
+        for offset in range(num_rows):
+            for direction in (1, -1) if offset else (1,):
+                r = target_row + direction * offset
+                if not 0 <= r < num_rows:
+                    continue
+                row = rows[r]
+                dy = abs(row.y_center - cy)
+                if best is not None and dy >= best[0]:
+                    continue
+                for interval in row.intervals:
+                    x_center = interval.candidate_center(width, cx)
+                    if x_center is None:
+                        continue
+                    cost = dy + abs(x_center - cx)
+                    if best is None or cost < best[0]:
+                        best = (cost, x_center, row.y_center, interval)
+            if best is not None and offset * row_height > best[0]:
+                break
+        if best is None:
+            overflow.append(inst)
+            continue
+        _cost, x_center, y_center, interval = best
+        placed_x = interval.try_fit(width, cx)
+        assert placed_x is not None
+        result.x[inst.id] = placed_x
+        result.y[inst.id] = y_center
+        displacement[inst.id] = math.hypot(placed_x - cx, y_center - cy)
+
+    # Overflow pass: the die has no capacity left for these cells.  They
+    # are forced into the physically nearest interval regardless of
+    # capacity (recorded in ``forced``) — no design is lost, but the
+    # displacement and overlap pressure degrade it, which is exactly the
+    # post-partitioning overlap fixing the paper describes for S2D/C2D.
+    force_rows = rows
+    if overflow and not any(r.intervals for r in rows):
+        # Partial blockages removed every interval (the S2D double-50 %
+        # case): fall back to hard-blockage-only geometry so the cells
+        # land somewhere physical.
+        force_rows = _build_rows(floorplan, row_height, honor_partial=False)
+    for inst in overflow:
+        cx = placement.x[inst.id]
+        cy = placement.y[inst.id]
+        width = inst.master.width
+        best_row: Optional[_Row] = None
+        best_interval: Optional[_Interval] = None
+        best_cost = math.inf
+        for row in force_rows:
+            dy = abs(row.y_center - cy)
+            if dy >= best_cost:
+                continue
+            for interval in row.intervals:
+                if interval.width < width:
+                    continue
+                x_center = min(
+                    max(cx, interval.xlo + width / 2.0),
+                    interval.xhi - width / 2.0,
+                )
+                cost = dy + abs(x_center - cx)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_row = row
+                    best_interval = interval
+        if best_interval is None or best_row is None:
+            failures += 1
+            continue
+        placed_x = best_interval.force_fit(width)
+        result.x[inst.id] = placed_x
+        result.y[inst.id] = best_row.y_center
+        displacement[inst.id] = math.hypot(placed_x - cx, best_row.y_center - cy)
+        forced += 1
+    return LegalizeResult(result, displacement, failures, forced)

@@ -1,0 +1,5 @@
+"""Power analysis: toggle-based dynamic energy plus leakage."""
+
+from repro.power.power import PowerReport, analyze_power
+
+__all__ = ["PowerReport", "analyze_power"]

@@ -1,0 +1,101 @@
+"""Power analysis.
+
+Follows the paper's sign-off setup (Sec. V-1/2): a toggle ratio of 0.2
+per clock cycle for inputs and registers, power reported at the typical
+corner.  The mean energy per cycle ``Emean`` — "equivalent to power per
+megahertz" — aggregates:
+
+- net switching: (wire + pin capacitance) * V^2 * toggle rate,
+- cell-internal energy per output toggle (repeaters included),
+- memory-macro access energy at the toggle rate,
+- the clock network at 100 % activity,
+- leakage, folded in as leakage-power / frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cells.macro import Macro
+from repro.cells.stdcell import StdCell
+from repro.extract.rc import DesignParasitics
+from repro.netlist.core import Netlist
+from repro.opt.buffering import BufferPlan
+from repro.tech.corners import Corner
+from repro.timing.clock_tree import ClockTree
+from repro.timing.constraints import TimingConstraints
+
+
+@dataclass
+class PowerReport:
+    """Energy/power breakdown of one design at one corner."""
+
+    corner: Corner
+    #: Dynamic energy per cycle by component, fJ.
+    dynamic: Dict[str, float] = field(default_factory=dict)
+    #: Leakage power, uW.
+    leakage: float = 0.0
+
+    @property
+    def dynamic_energy(self) -> float:
+        return sum(self.dynamic.values())
+
+    def emean(self, freq_mhz: float) -> float:
+        """Mean energy per cycle (fJ) at a clock frequency — the paper's
+        ``Emean`` metric (power-per-megahertz)."""
+        if freq_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        leak_fj = self.leakage / freq_mhz * 1.0e3
+        return self.dynamic_energy + leak_fj
+
+    def total_power_uw(self, freq_mhz: float) -> float:
+        """Total power in uW at a clock frequency."""
+        return self.dynamic_energy * freq_mhz * 1.0e-3 + self.leakage
+
+
+def analyze_power(
+    netlist: Netlist,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    clock_tree: Optional[ClockTree],
+    constraints: TimingConstraints,
+) -> PowerReport:
+    """Compute the power breakdown of a placed-and-routed design."""
+    corner = parasitics.corner
+    voltage = corner.voltage
+    toggle = constraints.toggle_rate
+    v2 = voltage * voltage
+
+    report = PowerReport(corner=corner)
+
+    wire_cap = parasitics.total_wire_cap()
+    pin_cap = parasitics.total_pin_cap()
+    report.dynamic["net_switching"] = toggle * (wire_cap + pin_cap) * v2
+
+    internal = 0.0
+    leakage = 0.0
+    macro_energy = 0.0
+    for inst in netlist.instances:
+        master = inst.master
+        if isinstance(master, StdCell):
+            internal += toggle * master.internal_energy
+            leakage += master.leakage
+        else:
+            assert isinstance(master, Macro)
+            macro_energy += toggle * master.energy_per_access
+            leakage += master.leakage
+    report.dynamic["cell_internal"] = internal
+    report.dynamic["macro_access"] = macro_energy
+
+    repeater_energy = toggle * plan.added_energy_per_toggle()
+    repeater_cap = toggle * plan.added_pin_cap() * v2
+    report.dynamic["repeaters"] = repeater_energy + repeater_cap
+    leakage += plan.added_leakage()
+
+    if clock_tree is not None:
+        report.dynamic["clock"] = clock_tree.energy_per_cycle(voltage)
+        leakage += clock_tree.num_buffers * clock_tree.buffer_cell.leakage
+
+    report.leakage = leakage * corner.leakage_derate
+    return report

@@ -1,0 +1,17 @@
+"""Global routing over a GCell grid with layer assignment and F2F vias."""
+
+from repro.route.grid import RoutingGrid, RoutingGridOptions
+from repro.route.steiner import decompose_net
+from repro.route.global_route import GlobalRouter, RouterOptions, RoutedNet
+from repro.route.layer_assign import LayerAssigner, LayerAssignment
+
+__all__ = [
+    "RoutingGrid",
+    "RoutingGridOptions",
+    "decompose_net",
+    "GlobalRouter",
+    "RouterOptions",
+    "RoutedNet",
+    "LayerAssigner",
+    "LayerAssignment",
+]

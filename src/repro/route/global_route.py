@@ -1,0 +1,379 @@
+"""Congestion-negotiated global routing (pattern + maze).
+
+Every signal net is decomposed into two-pin MST edges and routed on the
+2D GCell grid with L/Z pattern candidates scored by negotiated congestion
+cost; overflowed regions trigger PathFinder-style rip-up-and-reroute, with
+an A* maze fallback for the stubborn remainder.  Layer assignment happens
+afterwards in :mod:`repro.route.layer_assign`.
+
+Pattern costs are evaluated against prefix sums of the per-edge cost
+fields, refreshed in batches — the standard engineering trade that makes
+congestion-aware pattern routing linear-time in practice.
+
+Clock nets are excluded — clock distribution is synthesised separately by
+:mod:`repro.timing.clock_tree`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geom import Point
+from repro.netlist.core import Instance, Net, Netlist
+from repro.place.global_place import Placement
+from repro.route.grid import RoutingGrid
+from repro.route.steiner import decompose_net, manhattan
+
+GCell = Tuple[int, int]
+
+
+@dataclass
+class RoutedEdge:
+    """One routed two-pin connection of a net."""
+
+    source_index: int
+    target_index: int
+    #: GCell path from source to target, inclusive.
+    path: List[GCell]
+    #: Routed length in um.
+    length: float
+    #: Fraction of the path over macro substrate (no repeater sites).
+    blocked_fraction: float = 0.0
+
+
+@dataclass
+class RoutedNet:
+    """A net's terminals, topology and routed paths."""
+
+    net: Net
+    points: List[Point]
+    driver_index: int
+    edges: List[RoutedEdge] = field(default_factory=list)
+
+    @property
+    def wirelength(self) -> float:
+        return sum(edge.length for edge in self.edges)
+
+
+@dataclass(frozen=True)
+class RouterOptions:
+    """Knobs of the global router."""
+
+    #: Number of intermediate Z-pattern candidates per orientation.
+    z_candidates: int = 2
+    #: Rip-up-and-reroute rounds after the initial pass.
+    negotiation_rounds: int = 5
+    #: Maximum nets sent to the maze router per round.
+    maze_budget: int = 600
+    #: Maze router gives up beyond this many node expansions per edge.
+    maze_expansion_limit: int = 12000
+    #: Nets routed between cost-field refreshes.
+    cost_batch: int = 400
+
+
+class GlobalRouter:
+    """Routes all signal nets of a placed design over a grid."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        placement: Placement,
+        grid: RoutingGrid,
+        options: RouterOptions = RouterOptions(),
+    ):
+        self.netlist = netlist
+        self.placement = placement
+        self.grid = grid
+        self.options = options
+        self.routed: Dict[str, RoutedNet] = {}
+        self._since_refresh = 0
+        self._refresh_costs()
+
+    # -- cost fields ----------------------------------------------------------------
+
+    def _edge_cost_field(self, cap: np.ndarray, use: np.ndarray,
+                         hist: np.ndarray) -> np.ndarray:
+        safe_cap = np.where(cap > 0, cap, 1.0)
+        ratio = (use + 1.0) / safe_cap
+        over = np.clip(4.0 * (ratio - 0.8), 0.0, 8.0)
+        cost = 1.0 + hist + np.where(ratio > 0.8, np.exp(over), 0.0)
+        cost = np.where(cap > 0, cost, 64.0 + hist)
+        return cost
+
+    def _refresh_costs(self) -> None:
+        grid = self.grid
+        self._cost_h = self._edge_cost_field(grid.cap_h, grid.use_h, grid.history_h)
+        self._cost_v = self._edge_cost_field(grid.cap_v, grid.use_v, grid.history_v)
+        # Prefix sums for O(1) straight-run costs: psum[i+1] - psum[j].
+        self._psum_h = np.concatenate(
+            [np.zeros((1, grid.ny)), np.cumsum(self._cost_h, axis=0)], axis=0
+        )
+        self._psum_v = np.concatenate(
+            [np.zeros((grid.nx, 1)), np.cumsum(self._cost_v, axis=1)], axis=1
+        )
+        self._since_refresh = 0
+
+    def _hcost(self, y: int, x0: int, x1: int) -> float:
+        """Cost of the horizontal run between columns x0 < x1 at row y."""
+        return float(self._psum_h[x1, y] - self._psum_h[x0, y])
+
+    def _vcost(self, x: int, y0: int, y1: int) -> float:
+        return float(self._psum_v[x, y1] - self._psum_v[x, y0])
+
+    # -- usage bookkeeping -------------------------------------------------------
+
+    def _apply_path(self, path: Sequence[GCell], sign: float) -> None:
+        grid = self.grid
+        for (ax, ay), (bx, by) in zip(path, path[1:]):
+            if ax != bx:
+                grid.use_h[min(ax, bx), ay] += sign
+            else:
+                grid.use_v[ax, min(ay, by)] += sign
+
+    # -- pattern routing ------------------------------------------------------------
+
+    @staticmethod
+    def _straight(a: GCell, b: GCell) -> List[GCell]:
+        """GCells from a to b along one axis, inclusive."""
+        ax, ay = a
+        bx, by = b
+        cells = [a]
+        if ax == bx:
+            step = 1 if by > ay else -1
+            cells += [(ax, yy) for yy in range(ay + step, by + step, step)]
+        elif ay == by:
+            step = 1 if bx > ax else -1
+            cells += [(xx, ay) for xx in range(ax + step, bx + step, step)]
+        else:
+            raise ValueError("not a straight segment")
+        return cells
+
+    def _route_edge_pattern(self, a: GCell, b: GCell) -> List[GCell]:
+        """Cheapest L/Z pattern between two GCells under the cost fields."""
+        ax, ay = a
+        bx, by = b
+        if a == b:
+            return [a]
+        xlo, xhi = min(ax, bx), max(ax, bx)
+        ylo, yhi = min(ay, by), max(ay, by)
+        if ay == by:
+            return self._straight(a, b)
+        if ax == bx:
+            return self._straight(a, b)
+
+        best_kind: Tuple = ()
+        best_cost = math.inf
+
+        def consider(kind: Tuple, cost: float) -> None:
+            nonlocal best_kind, best_cost
+            if cost < best_cost:
+                best_cost = cost
+                best_kind = kind
+
+        # L shapes: corner at (bx, ay) or (ax, by).
+        consider(("hv", bx), self._hcost(ay, xlo, xhi) + self._vcost(bx, ylo, yhi))
+        consider(("vh", ax), self._vcost(ax, ylo, yhi) + self._hcost(by, xlo, xhi))
+        # Z shapes via intermediate columns and rows.
+        n = self.options.z_candidates
+        for k in range(1, n + 1):
+            mx = ax + (bx - ax) * k // (n + 1)
+            if mx != ax and mx != bx:
+                cost = (
+                    self._hcost(ay, min(ax, mx), max(ax, mx))
+                    + self._vcost(mx, ylo, yhi)
+                    + self._hcost(by, min(mx, bx), max(mx, bx))
+                )
+                consider(("hvh", mx), cost)
+            my = ay + (by - ay) * k // (n + 1)
+            if my != ay and my != by:
+                cost = (
+                    self._vcost(ax, min(ay, my), max(ay, my))
+                    + self._hcost(my, xlo, xhi)
+                    + self._vcost(bx, min(my, by), max(my, by))
+                )
+                consider(("vhv", my), cost)
+
+        kind = best_kind[0]
+        if kind == "hv":
+            return self._straight(a, (bx, ay)) + self._straight((bx, ay), b)[1:]
+        if kind == "vh":
+            return self._straight(a, (ax, by)) + self._straight((ax, by), b)[1:]
+        if kind == "hvh":
+            mx = best_kind[1]
+            return (
+                self._straight(a, (mx, ay))
+                + self._straight((mx, ay), (mx, by))[1:]
+                + self._straight((mx, by), b)[1:]
+            )
+        my = best_kind[1]
+        return (
+            self._straight(a, (ax, my))
+            + self._straight((ax, my), (bx, my))[1:]
+            + self._straight((bx, my), b)[1:]
+        )
+
+    # -- maze routing -----------------------------------------------------------------
+
+    def _route_edge_maze(self, a: GCell, b: GCell) -> Optional[List[GCell]]:
+        grid = self.grid
+        if a == b:
+            return [a]
+        cost_h, cost_v = self._cost_h, self._cost_v
+        expansions = 0
+        best: Dict[GCell, float] = {a: 0.0}
+        parent: Dict[GCell, GCell] = {}
+        frontier: List[Tuple[float, float, GCell]] = [(0.0, 0.0, a)]
+        while frontier:
+            _f, g, cell = heapq.heappop(frontier)
+            if cell == b:
+                path = [cell]
+                while path[-1] != a:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            if g > best.get(cell, math.inf):
+                continue
+            expansions += 1
+            if expansions > self.options.maze_expansion_limit:
+                return None
+            cx, cy = cell
+            for nx_, ny_, horizontal, ex, ey in (
+                (cx + 1, cy, True, cx, cy),
+                (cx - 1, cy, True, cx - 1, cy),
+                (cx, cy + 1, False, cx, cy),
+                (cx, cy - 1, False, cx, cy - 1),
+            ):
+                if not (0 <= nx_ < grid.nx and 0 <= ny_ < grid.ny):
+                    continue
+                step = cost_h[ex, ey] if horizontal else cost_v[ex, ey]
+                g2 = g + float(step)
+                neighbour = (nx_, ny_)
+                if g2 < best.get(neighbour, math.inf):
+                    best[neighbour] = g2
+                    parent[neighbour] = cell
+                    h = abs(nx_ - b[0]) + abs(ny_ - b[1])
+                    heapq.heappush(frontier, (g2 + h, g2, neighbour))
+        return None
+
+    # -- net-level routing ---------------------------------------------------------------
+
+    def _route_net(self, routed: RoutedNet, use_maze: bool = False) -> None:
+        cells = [self.grid.gcell_of(p.x, p.y) for p in routed.points]
+        if any(
+            isinstance(obj, Instance) and obj.is_macro
+            for obj, _pin in routed.net.terms
+        ):
+            # Macro-pin nets route as driver-rooted stars: every data/
+            # address bit leaves the trunk once, like the per-bit nets of
+            # the real bus — MST chaining between adjacent pins would
+            # fabricate pin-to-pin routes that do not exist in the RTL.
+            pairs = [
+                (routed.driver_index, k)
+                for k in range(len(routed.points))
+                if k != routed.driver_index
+            ]
+        else:
+            pairs = decompose_net(routed.points, routed.driver_index)
+        routed.edges = []
+        for (src, dst) in pairs:
+            a, b = cells[src], cells[dst]
+            path: Optional[List[GCell]] = None
+            if use_maze:
+                path = self._route_edge_maze(a, b)
+            if path is None:
+                path = self._route_edge_pattern(a, b)
+            self._apply_path(path, +1.0)
+            direct = manhattan(routed.points[src], routed.points[dst])
+            detour = max(0, len(path) - 1) * self.grid.gcell
+            routed.edges.append(
+                RoutedEdge(
+                    src,
+                    dst,
+                    path,
+                    max(direct, detour * 0.999),
+                    self.grid.path_blocked_fraction(path),
+                )
+            )
+        self._since_refresh += 1
+        if self._since_refresh >= self.options.cost_batch:
+            self._refresh_costs()
+
+    def _rip_up(self, routed: RoutedNet) -> None:
+        for edge in routed.edges:
+            self._apply_path(edge.path, -1.0)
+        routed.edges = []
+
+    def _nets_on_overflow(self) -> List[RoutedNet]:
+        grid = self.grid
+        over_h = grid.use_h > grid.cap_h
+        over_v = grid.use_v > grid.cap_v
+        if not over_h.any() and not over_v.any():
+            return []
+        offenders = []
+        for routed in self.routed.values():
+            hit = False
+            for edge in routed.edges:
+                for (ax, ay), (bx, by) in zip(edge.path, edge.path[1:]):
+                    if ax != bx:
+                        if over_h[min(ax, bx), ay]:
+                            hit = True
+                            break
+                    elif over_v[ax, min(ay, by)]:
+                        hit = True
+                        break
+                if hit:
+                    break
+            if hit:
+                offenders.append(routed)
+        return offenders
+
+    # -- public API --------------------------------------------------------------------------
+
+    def run(self) -> Dict[str, RoutedNet]:
+        """Route all non-clock signal nets; returns them by net name."""
+        for net in self.netlist.nets:
+            if net.is_clock or net.degree < 2:
+                continue
+            points = [self.placement.term_position(t) for t in net.terms]
+            driver_index = (
+                net.terms.index(net.driver) if net.driver in net.terms else 0
+            )
+            routed = RoutedNet(net, points, driver_index)
+            self._route_net(routed)
+            self.routed[net.name] = routed
+
+        for _round in range(self.options.negotiation_rounds):
+            offenders = self._nets_on_overflow()
+            if not offenders:
+                break
+            self.grid.add_history()
+            self._refresh_costs()
+            # Longest nets first get maze treatment within the budget.
+            offenders.sort(key=lambda r: -r.wirelength)
+            for k, routed in enumerate(offenders):
+                self._rip_up(routed)
+                self._route_net(routed, use_maze=k < self.options.maze_budget)
+        return self.routed
+
+    # -- metrics --------------------------------------------------------------------------------
+
+    def total_wirelength(self) -> float:
+        return sum(r.wirelength for r in self.routed.values())
+
+    def detour_factor(self) -> float:
+        """Routed length over direct Manhattan length (>= 1)."""
+        direct = 0.0
+        routed_len = 0.0
+        for routed in self.routed.values():
+            for edge in routed.edges:
+                direct += manhattan(
+                    routed.points[edge.source_index],
+                    routed.points[edge.target_index],
+                )
+                routed_len += edge.length
+        return routed_len / direct if direct > 0 else 1.0

@@ -1,0 +1,229 @@
+"""GCell routing grid: per-layer capacities, blockages, F2F via supply.
+
+The outline is tiled into GCells.  Every routing layer contributes edge
+capacity (tracks per GCell boundary) in its preferred direction; macro
+obstructions remove the covered layers' capacity underneath.  For merged
+double-die stacks the grid also tracks the F2F via supply per GCell —
+bounded by the bonding pitch — and knows which routing layers sit above
+the F2F boundary, so layer assignment can count bump crossings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geom import Point, Rect
+from repro.tech.beol import MergedBeol
+from repro.tech.layers import LayerDirection, LayerStack, RoutingLayer
+from repro.tech.technology import F2FViaSpec
+
+
+@dataclass(frozen=True)
+class RoutingGridOptions:
+    """Knobs of the routing grid."""
+
+    #: Target number of GCells along the longer outline edge.
+    target_gcells: int = 48
+    #: Fraction of tracks usable for signals (rest: power grid, pins).
+    track_utilization: float = 0.50
+    #: M1 is mostly pins; its usable fraction is further derated.
+    m1_derate: float = 0.25
+    #: Capacity derate knob (1.0 = full physical capacity).  Macro pin
+    #: escape demand does not shrink with statistical netlist scaling, so
+    #: flows keep this at 1.0; ablations may tighten it.
+    capacity_scale: float = 1.0
+    #: Extra per-layer signal-capacity derates.  The power delivery
+    #: network consumes most of each die's top metals, which is what makes
+    #: routing over a macro array (where only the top layers exist)
+    #: genuinely scarce in 2D designs.
+    pdn_derates: Tuple[Tuple[str, float], ...] = (
+        ("M5", 0.75),
+        ("M6", 0.50),
+        ("M5_MD", 0.75),
+        ("M6_MD", 0.50),
+    )
+
+
+class RoutingGrid:
+    """Capacities and usage for one design's global routing."""
+
+    def __init__(
+        self,
+        stack: LayerStack,
+        outline: Rect,
+        options: RoutingGridOptions = RoutingGridOptions(),
+        merged: Optional[MergedBeol] = None,
+        f2f: Optional[F2FViaSpec] = None,
+    ):
+        self.stack = stack
+        self.outline = outline
+        self.options = options
+        self.merged = merged
+
+        longer = max(outline.width, outline.height)
+        self.gcell = longer / options.target_gcells
+        self.nx = max(2, int(math.ceil(outline.width / self.gcell)))
+        self.ny = max(2, int(math.ceil(outline.height / self.gcell)))
+
+        self.layers: List[RoutingLayer] = stack.routing_layers
+        self.num_layers = len(self.layers)
+        #: capacity[l] in tracks per GCell edge along the layer direction.
+        self.layer_capacity = np.zeros((self.num_layers, self.nx, self.ny))
+        for l, layer in enumerate(self.layers):
+            tracks = (
+                self.gcell
+                / layer.pitch
+                * options.track_utilization
+                * options.capacity_scale
+            )
+            if l == 0:
+                tracks *= options.m1_derate
+            for name, derate in options.pdn_derates:
+                if layer.name == name:
+                    tracks *= derate
+            self.layer_capacity[l, :, :] = tracks
+        #: usage[l], same shape; filled by layer assignment.
+        self.layer_usage = np.zeros_like(self.layer_capacity)
+
+        # Aggregated 2D capacities for the routing phase.
+        self._rebuild_2d()
+
+        #: Fraction of each GCell's substrate covered by macros — where
+        #: repeaters cannot be placed.  Filled by the flows from the
+        #: floorplan blockages.
+        self.substrate_coverage = np.zeros((self.nx, self.ny))
+
+        # 2D usage and negotiated-congestion history.
+        self.use_h = np.zeros((self.nx, self.ny))
+        self.use_v = np.zeros((self.nx, self.ny))
+        self.history_h = np.zeros((self.nx, self.ny))
+        self.history_v = np.zeros((self.nx, self.ny))
+
+        # F2F via supply per GCell.
+        self.f2f_boundary: Optional[int] = None
+        self.f2f_capacity: Optional[np.ndarray] = None
+        self.f2f_usage: Optional[np.ndarray] = None
+        if merged is not None:
+            if f2f is None:
+                raise ValueError("a merged BEOL grid needs the F2F via spec")
+            self.f2f_boundary = merged.f2f_routing_boundary
+            per_gcell = (self.gcell / f2f.pitch) ** 2 * options.capacity_scale
+            self.f2f_capacity = np.full((self.nx, self.ny), per_gcell)
+            self.f2f_usage = np.zeros((self.nx, self.ny))
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _rebuild_2d(self) -> None:
+        self.cap_h = np.zeros((self.nx, self.ny))
+        self.cap_v = np.zeros((self.nx, self.ny))
+        for l, layer in enumerate(self.layers):
+            if layer.direction is LayerDirection.HORIZONTAL:
+                self.cap_h += self.layer_capacity[l]
+            else:
+                self.cap_v += self.layer_capacity[l]
+
+    def block_layer(self, layer_name: str, rect: Rect, fraction: float = 1.0) -> None:
+        """Remove (a fraction of) one layer's capacity under ``rect``."""
+        try:
+            l = self.stack.routing_index(layer_name)
+        except KeyError:
+            return  # obstruction on a layer this stack does not have
+        x0, y0 = self.gcell_of(rect.xlo, rect.ylo)
+        x1, y1 = self.gcell_of(rect.xhi - 1e-9, rect.yhi - 1e-9)
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                cell = self.gcell_rect(ix, iy)
+                overlap = cell.overlap_area(rect) / cell.area
+                self.layer_capacity[l, ix, iy] *= 1.0 - fraction * overlap
+        self._rebuild_2d()
+
+    def block_substrate(self, rect: Rect, fraction: float = 1.0) -> None:
+        """Mark substrate under ``rect`` as macro-covered (no repeater sites)."""
+        x0, y0 = self.gcell_of(rect.xlo, rect.ylo)
+        x1, y1 = self.gcell_of(rect.xhi - 1e-9, rect.yhi - 1e-9)
+        for ix in range(x0, x1 + 1):
+            for iy in range(y0, y1 + 1):
+                cell = self.gcell_rect(ix, iy)
+                overlap = cell.overlap_area(rect) / cell.area
+                self.substrate_coverage[ix, iy] = min(
+                    1.0, self.substrate_coverage[ix, iy] + fraction * overlap
+                )
+
+    def path_blocked_fraction(self, path) -> float:
+        """Mean substrate coverage along a GCell path."""
+        if not path:
+            return 0.0
+        total = 0.0
+        for (ix, iy) in path:
+            total += self.substrate_coverage[ix, iy]
+        return total / len(path)
+
+    # -- coordinates ---------------------------------------------------------------
+
+    def gcell_of(self, x: float, y: float) -> Tuple[int, int]:
+        ix = int((x - self.outline.xlo) / self.gcell)
+        iy = int((y - self.outline.ylo) / self.gcell)
+        return (min(max(ix, 0), self.nx - 1), min(max(iy, 0), self.ny - 1))
+
+    def gcell_rect(self, ix: int, iy: int) -> Rect:
+        return Rect(
+            self.outline.xlo + ix * self.gcell,
+            self.outline.ylo + iy * self.gcell,
+            self.outline.xlo + (ix + 1) * self.gcell,
+            self.outline.ylo + (iy + 1) * self.gcell,
+        )
+
+    def gcell_center(self, ix: int, iy: int) -> Point:
+        return self.gcell_rect(ix, iy).center
+
+    # -- congestion --------------------------------------------------------------------
+
+    def edge_cost(self, horizontal: bool, ix: int, iy: int) -> float:
+        """Negotiated congestion cost of one GCell edge."""
+        if horizontal:
+            cap, use, hist = self.cap_h[ix, iy], self.use_h[ix, iy], self.history_h[ix, iy]
+        else:
+            cap, use, hist = self.cap_v[ix, iy], self.use_v[ix, iy], self.history_v[ix, iy]
+        if cap <= 0:
+            return 64.0 + hist
+        ratio = (use + 1.0) / cap
+        if ratio <= 0.8:
+            return 1.0 + hist
+        return 1.0 + hist + math.exp(min(4.0 * (ratio - 0.8), 8.0))
+
+    def overflow_2d(self) -> float:
+        """Total routed demand exceeding 2D capacity (GCell edges)."""
+        over_h = np.clip(self.use_h - self.cap_h, 0.0, None).sum()
+        over_v = np.clip(self.use_v - self.cap_v, 0.0, None).sum()
+        return float(over_h + over_v)
+
+    def add_history(self, weight: float = 0.5) -> None:
+        """Accumulate history cost on overflowed edges (PathFinder)."""
+        self.history_h += weight * (self.use_h > self.cap_h)
+        self.history_v += weight * (self.use_v > self.cap_v)
+
+    # -- F2F accounting ------------------------------------------------------------------
+
+    @property
+    def has_f2f(self) -> bool:
+        return self.f2f_boundary is not None
+
+    def crosses_f2f(self, layer_a: int, layer_b: int) -> bool:
+        """True when a via stack between the two layers crosses the bond."""
+        if self.f2f_boundary is None:
+            return False
+        lo, hi = min(layer_a, layer_b), max(layer_a, layer_b)
+        return lo <= self.f2f_boundary < hi
+
+    def use_f2f(self, ix: int, iy: int, count: int = 1) -> None:
+        assert self.f2f_usage is not None
+        self.f2f_usage[ix, iy] += count
+
+    def total_f2f_vias(self) -> int:
+        if self.f2f_usage is None:
+            return 0
+        return int(round(self.f2f_usage.sum()))

@@ -1,0 +1,270 @@
+"""Layer assignment: straight runs onto metal layers, vias, F2F bumps.
+
+Each routed two-pin edge is split into straight runs; every run is
+assigned to a metal layer whose preferred direction matches, scored by
+(a) the length-based tier preference real engines use (short wires low,
+long wires high), (b) congestion on the layer along the run, and (c) a
+penalty for needlessly crossing the F2F bond in merged double-die stacks.
+Joints between runs and connections to terminal pin layers become via
+stacks; any stack crossing the F2F boundary consumes one F2F bump at that
+GCell — this is where the paper's bump counts come from, and why routes
+may legitimately dip through the macro die to dodge congestion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cells.macro import Macro
+from repro.netlist.core import Instance, Port
+from repro.route.global_route import GCell, RoutedEdge, RoutedNet
+from repro.route.grid import RoutingGrid
+from repro.tech.layers import LayerDirection
+
+
+@dataclass
+class AssignedRun:
+    """One straight run of wire on one layer."""
+
+    layer: int
+    gcells: List[GCell]
+    length: float
+
+
+@dataclass
+class AssignedEdge:
+    """Electrical view of a routed edge after layer assignment."""
+
+    edge: RoutedEdge
+    runs: List[AssignedRun] = field(default_factory=list)
+    resistance: float = 0.0
+    capacitance: float = 0.0
+    via_count: int = 0
+    f2f_count: int = 0
+
+
+@dataclass
+class LayerAssignment:
+    """Per-net assigned edges plus design-level aggregates."""
+
+    edges: Dict[str, List[AssignedEdge]] = field(default_factory=dict)
+    total_vias: int = 0
+    total_f2f: int = 0
+    #: wirelength per layer index, um.
+    wirelength_by_layer: Dict[int, float] = field(default_factory=dict)
+
+    def net_edges(self, net_name: str) -> List[AssignedEdge]:
+        return self.edges.get(net_name, [])
+
+    def total_wire_capacitance(self) -> float:
+        return sum(
+            e.capacitance for edges in self.edges.values() for e in edges
+        )
+
+
+class LayerAssigner:
+    """Assigns routed nets to the metal stack of a grid."""
+
+    def __init__(self, grid: RoutingGrid, die1_cells: Optional[set] = None):
+        self.grid = grid
+        #: Standard cells physically on the top die of a merged stack
+        #: (S2D/C2D final designs) — their pins sit on the top die's M1,
+        #: i.e. the last routing layer of the merged stack.
+        self.die1_cells = die1_cells or set()
+        stack = grid.stack
+        self._layers = stack.routing_layers
+        self._h_layers = [
+            i for i, l in enumerate(self._layers)
+            if l.direction is LayerDirection.HORIZONTAL
+        ]
+        self._v_layers = [
+            i for i, l in enumerate(self._layers)
+            if l.direction is LayerDirection.VERTICAL
+        ]
+        self._cuts = stack.cut_layers
+        boundary = grid.f2f_boundary
+        self._top_logic = boundary if boundary is not None else len(self._layers) - 1
+
+    # -- terminals ------------------------------------------------------------------
+
+    def terminal_layer(self, term: Tuple[object, str]) -> int:
+        """Metal layer index of a net terminal."""
+        obj, pin = term
+        if isinstance(obj, Instance):
+            if obj.is_macro:
+                master = obj.master
+                assert isinstance(master, Macro)
+                return self.grid.stack.routing_index(master.pin(pin).layer)
+            if obj.name in self.die1_cells:
+                return len(self._layers) - 1  # top-die M1 in a merged stack
+            return 0  # standard-cell pins live on M1
+        assert isinstance(obj, Port)
+        layer_name = obj.constraint.layer if obj.constraint else None
+        if layer_name and layer_name in self.grid.stack:
+            return self.grid.stack.routing_index(layer_name)
+        return self._top_logic
+
+    # -- scoring -----------------------------------------------------------------------
+
+    def _preferred_tier(self, length: float, die1: bool = False) -> float:
+        """Preferred layer index for a run length.
+
+        ``die1`` mirrors the preference into the top die's half of a
+        merged stack: an edge between two top-die cells should use the
+        top die's metals, not dive through the bond twice.
+        """
+        gcell = self.grid.gcell
+        if length <= 1.5 * gcell:
+            tier = 1.0
+        elif length <= 4.0 * gcell:
+            tier = min(3.0, self._top_logic)
+        else:
+            tier = float(self._top_logic)
+        if die1:
+            # Merged stacks order the top die top-metal-first, so the
+            # local tier t maps to (last index - t).
+            return float(len(self._layers) - 1) - tier
+        return tier
+
+    def _congestion_penalty(self, layer: int, gcells: Sequence[GCell]) -> float:
+        cap = self.grid.layer_capacity[layer]
+        use = self.grid.layer_usage[layer]
+        total_cap = 0.0
+        total_use = 0.0
+        min_cap = math.inf
+        for (ix, iy) in gcells:
+            total_cap += cap[ix, iy]
+            total_use += use[ix, iy]
+            min_cap = min(min_cap, cap[ix, iy])
+        # A run is only legal if every GCell it crosses has tracks — a
+        # macro obstruction anywhere on the run rules the layer out.
+        if min_cap <= 0.05:
+            return 1e6
+        ratio = (total_use + len(gcells)) / total_cap
+        if ratio <= 0.9:
+            return 0.0
+        return math.exp(min(3.0 * (ratio - 0.9), 6.0)) - 1.0
+
+    def _pick_layer(
+        self,
+        horizontal: bool,
+        gcells: Sequence[GCell],
+        length: float,
+        die1: bool = False,
+    ) -> int:
+        candidates = self._h_layers if horizontal else self._v_layers
+        tier = self._preferred_tier(length, die1)
+        last = len(self._layers) - 1
+        best_layer = candidates[0]
+        best_score = math.inf
+        for layer in candidates:
+            score = abs(layer - tier) + self._congestion_penalty(layer, gcells)
+            # Crossing the bond costs two F2F traversals for a die-local
+            # run — mildly discouraged, but the combined stack exists to
+            # absorb exactly this overflow (Sec. III).
+            foreign = (layer > self._top_logic) != die1
+            if foreign:
+                score += 0.9
+            if (layer == 0 and not die1) or (layer == last and die1):
+                score += 1.5  # each die's M1 is for pin access
+            if score < best_score:
+                best_score = score
+                best_layer = layer
+        return best_layer
+
+    # -- via stacks ----------------------------------------------------------------------
+
+    def _via_stack(
+        self, assigned: AssignedEdge, gcell: GCell, layer_a: int, layer_b: int
+    ) -> None:
+        """Account a via stack between two layers at one GCell."""
+        lo, hi = min(layer_a, layer_b), max(layer_a, layer_b)
+        for k in range(lo, hi):
+            cut = self._cuts[k]
+            assigned.resistance += cut.resistance
+            assigned.capacitance += cut.capacitance
+            assigned.via_count += 1
+            if self.grid.f2f_boundary is not None and k == self.grid.f2f_boundary:
+                assigned.f2f_count += 1
+                self.grid.use_f2f(gcell[0], gcell[1])
+
+    # -- main ------------------------------------------------------------------------------
+
+    @staticmethod
+    def _straight_runs(path: Sequence[GCell]) -> List[List[GCell]]:
+        """Split a GCell path into maximal straight runs."""
+        if len(path) < 2:
+            return []
+        runs: List[List[GCell]] = []
+        run = [path[0], path[1]]
+        horizontal = path[0][1] == path[1][1]
+        for cell in path[2:]:
+            step_horizontal = cell[1] == run[-1][1]
+            if step_horizontal == horizontal:
+                run.append(cell)
+            else:
+                runs.append(run)
+                run = [run[-1], cell]
+                horizontal = step_horizontal
+        runs.append(run)
+        return runs
+
+    def assign_edge(self, routed: RoutedNet, edge: RoutedEdge) -> AssignedEdge:
+        assigned = AssignedEdge(edge)
+        src_layer = self.terminal_layer(routed.net.terms[edge.source_index])
+        dst_layer = self.terminal_layer(routed.net.terms[edge.target_index])
+        die1_local = (
+            src_layer > self._top_logic and dst_layer > self._top_logic
+        )
+        runs = self._straight_runs(edge.path)
+        if not runs:
+            # Terminals share a GCell: a short jog plus the via stack,
+            # placed in whichever die both terminals live in.
+            if die1_local:
+                stub_layer = max(0, len(self._layers) - 2)
+            else:
+                stub_layer = min(1, len(self._layers) - 1)
+            layer = self._layers[stub_layer]
+            assigned.resistance += layer.r_per_um * edge.length
+            assigned.capacitance += layer.c_per_um * edge.length
+            gcell = edge.path[0] if edge.path else (0, 0)
+            self._via_stack(assigned, gcell, src_layer, stub_layer)
+            self._via_stack(assigned, gcell, stub_layer, dst_layer)
+            return assigned
+
+        total_steps = max(1, len(edge.path) - 1)
+        previous_layer = src_layer
+        for i, run in enumerate(runs):
+            horizontal = run[0][1] == run[1][1]
+            steps = len(run) - 1
+            length = edge.length * steps / total_steps
+            layer_index = self._pick_layer(horizontal, run, length, die1_local)
+            layer = self._layers[layer_index]
+            assigned.runs.append(AssignedRun(layer_index, list(run), length))
+            assigned.resistance += layer.r_per_um * length
+            assigned.capacitance += layer.c_per_um * length
+            for (ix, iy) in run[:-1]:
+                self.grid.layer_usage[layer_index, ix, iy] += 1.0
+            self._via_stack(assigned, run[0], previous_layer, layer_index)
+            previous_layer = layer_index
+        self._via_stack(assigned, runs[-1][-1], previous_layer, dst_layer)
+        return assigned
+
+    def run(self, routed_nets: Dict[str, RoutedNet]) -> LayerAssignment:
+        """Assign every routed net; returns the electrical view."""
+        result = LayerAssignment()
+        for name, routed in routed_nets.items():
+            assigned_edges = [self.assign_edge(routed, e) for e in routed.edges]
+            result.edges[name] = assigned_edges
+            for assigned in assigned_edges:
+                result.total_vias += assigned.via_count
+                result.total_f2f += assigned.f2f_count
+                for run in assigned.runs:
+                    result.wirelength_by_layer[run.layer] = (
+                        result.wirelength_by_layer.get(run.layer, 0.0) + run.length
+                    )
+        return result

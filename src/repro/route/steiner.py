@@ -1,0 +1,65 @@
+"""Net topology: decomposition of multi-terminal nets into two-pin edges.
+
+A rectilinear minimum spanning tree (Prim, Manhattan metric) approximates
+the Steiner topology; for the net degrees of a gate-level netlist the MST
+is within a few percent of RSMT length and, crucially, yields a *tree*
+whose edges downstream-capacitance analysis (Elmore) can walk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geom import Point
+
+
+def manhattan(a: Point, b: Point) -> float:
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def mst_edges(points: Sequence[Point], root: int = 0) -> List[Tuple[int, int]]:
+    """Prim's MST over ``points`` in the Manhattan metric.
+
+    Returns directed edges (parent, child) forming a tree rooted at
+    ``root`` — for a net, the driver terminal.
+    """
+    n = len(points)
+    if n < 2:
+        return []
+    in_tree = [False] * n
+    best_dist = [float("inf")] * n
+    best_parent = [root] * n
+    in_tree[root] = True
+    for j in range(n):
+        if j != root:
+            best_dist[j] = manhattan(points[root], points[j])
+    edges: List[Tuple[int, int]] = []
+    for _ in range(n - 1):
+        # Pick the closest out-of-tree point.
+        best_j = -1
+        best = float("inf")
+        for j in range(n):
+            if not in_tree[j] and best_dist[j] < best:
+                best = best_dist[j]
+                best_j = j
+        if best_j < 0:
+            break
+        in_tree[best_j] = True
+        edges.append((best_parent[best_j], best_j))
+        for j in range(n):
+            if not in_tree[j]:
+                d = manhattan(points[best_j], points[j])
+                if d < best_dist[j]:
+                    best_dist[j] = d
+                    best_parent[j] = best_j
+    return edges
+
+
+def decompose_net(points: Sequence[Point], driver_index: int) -> List[Tuple[int, int]]:
+    """Two-pin edges of a net, rooted at the driver terminal."""
+    return mst_edges(points, root=driver_index)
+
+
+def tree_length(points: Sequence[Point], edges: Sequence[Tuple[int, int]]) -> float:
+    """Total Manhattan length of a decomposed net."""
+    return sum(manhattan(points[a], points[b]) for a, b in edges)

@@ -1,0 +1,32 @@
+"""Technology modeling: metal stacks, parasitics, corners, F2F bonding.
+
+The public entry points are:
+
+- :func:`repro.tech.presets.hk28` — a 28 nm-class high-k metal-gate
+  technology preset matching the paper's setup (Sec. V-2).
+- :class:`repro.tech.technology.Technology` — the container consumed by
+  every downstream stage.
+- :func:`repro.tech.beol.merge_beol` — builds the combined double-die
+  metal stack (``M1..M6 -> F2F_VIA -> M1_MD..``) used by Macro-3D.
+"""
+
+from repro.tech.layers import CutLayer, LayerDirection, LayerStack, RoutingLayer
+from repro.tech.corners import Corner, CornerSet
+from repro.tech.technology import F2FViaSpec, Technology
+from repro.tech.beol import MergedBeol, merge_beol
+from repro.tech.presets import hk28, hk28_macro_die
+
+__all__ = [
+    "CutLayer",
+    "LayerDirection",
+    "LayerStack",
+    "RoutingLayer",
+    "Corner",
+    "CornerSet",
+    "F2FViaSpec",
+    "Technology",
+    "MergedBeol",
+    "merge_beol",
+    "hk28",
+    "hk28_macro_die",
+]

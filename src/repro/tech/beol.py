@@ -1,0 +1,117 @@
+"""Combined double-die BEOL construction — the core trick of Macro-3D.
+
+Given the logic die's stack (say ``M1..M6``) and the macro die's stack
+(``M1..M4``), :func:`merge_beol` produces the single layer stack the 2D
+P&R engine is handed::
+
+    M1 -> VIA12 -> ... -> M6 -> F2F_VIA -> M6_MD -> VIA56_MD ... -> M1_MD
+
+Two subtleties mirror physical reality:
+
+1. The macro die is flipped face-down onto the logic die, so its *topmost*
+   metal is adjacent to the F2F bond.  In the merged stack the macro-die
+   layers therefore appear in reversed order (top metal first).  Layer
+   *names* keep their per-die identity (``M1_MD`` is still the macro die's
+   metal 1) — only the stacking order changes.
+2. Macro-die layer names receive the ``_MD`` suffix because techlef layer
+   names must be unique (Sec. IV of the paper).
+
+The merged stack is an ordinary :class:`~repro.tech.layers.LayerStack`, so
+every downstream tool (router, extractor, STA) works on it unmodified —
+which is precisely the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set
+
+from repro.tech.layers import CutLayer, Layer, LayerStack, RoutingLayer
+from repro.tech.technology import F2FViaSpec
+
+#: Suffix appended to macro-die layer names in the combined stack.
+MACRO_DIE_SUFFIX = "_MD"
+
+#: Name of the face-to-face bonding via layer in the combined stack.
+F2F_VIA_NAME = "F2F_VIA"
+
+
+@dataclass(frozen=True)
+class MergedBeol:
+    """The combined BEOL plus bookkeeping for the later die separation.
+
+    Attributes:
+        stack: the full merged layer stack handed to the 2D engine.
+        logic_layer_names: names of layers that belong to the logic die.
+        macro_layer_names: names (already suffixed) of macro-die layers.
+        f2f_cut_name: the F2F via layer name (member of both dies' GDS).
+    """
+
+    stack: LayerStack
+    logic_layer_names: frozenset
+    macro_layer_names: frozenset
+    f2f_cut_name: str
+
+    def die_of_layer(self, name: str) -> str:
+        """Return ``"logic"``, ``"macro"`` or ``"f2f"`` for a merged-stack layer."""
+        if name == self.f2f_cut_name:
+            return "f2f"
+        if name in self.logic_layer_names:
+            return "logic"
+        if name in self.macro_layer_names:
+            return "macro"
+        raise KeyError(f"layer {name} is not part of this merged BEOL")
+
+    @property
+    def f2f_routing_boundary(self) -> int:
+        """Index (within routing layers) of the topmost logic-die metal.
+
+        Routing layers ``0..boundary`` live in the logic die; layers above
+        live in the macro die.  A route using any layer above the boundary
+        necessarily crosses the F2F interface.
+        """
+        logic_metals = [
+            i
+            for i, layer in enumerate(self.stack.routing_layers)
+            if layer.name in self.logic_layer_names
+        ]
+        return max(logic_metals)
+
+
+def rename_to_macro_die(name: str) -> str:
+    """Apply the scripted ``_MD`` rename to one layer name."""
+    return name + MACRO_DIE_SUFFIX
+
+
+def merge_beol(
+    logic_stack: LayerStack,
+    macro_stack: LayerStack,
+    f2f: F2FViaSpec,
+) -> MergedBeol:
+    """Build the combined double-die stack with the F2F via between them.
+
+    The macro die arrives face-down, so its layers are reversed: the merged
+    order above the F2F via is macro-die top metal first, macro-die M1
+    last.  Preferred directions of the macro-die layers are preserved as
+    authored (the physical wires do not change direction by flipping in z).
+    """
+    merged: List[Layer] = list(logic_stack.layers)
+    merged.append(f2f.as_cut_layer(F2F_VIA_NAME))
+
+    flipped = list(reversed(macro_stack.layers))
+    if not isinstance(flipped[0], RoutingLayer):
+        raise ValueError("macro-die stack must end with a routing layer")
+    for layer in flipped:
+        merged.append(layer.renamed(rename_to_macro_die(layer.name)))
+
+    stack = LayerStack(merged)
+    logic_names: Set[str] = {layer.name for layer in logic_stack.layers}
+    macro_names: Set[str] = {
+        rename_to_macro_die(layer.name) for layer in macro_stack.layers
+    }
+    return MergedBeol(
+        stack=stack,
+        logic_layer_names=frozenset(logic_names),
+        macro_layer_names=frozenset(macro_names),
+        f2f_cut_name=F2F_VIA_NAME,
+    )

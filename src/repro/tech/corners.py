@@ -1,0 +1,113 @@
+"""Process corners.
+
+The paper closes timing at the slowest corner and reports power at the
+typical corner (Sec. V-2).  A :class:`Corner` scales cell delays, wire
+parasitics and leakage relative to the typical corner; a
+:class:`CornerSet` groups the corners analysed for one technology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One process/voltage/temperature corner.
+
+    Attributes:
+        name: corner name, e.g. ``"ss_0p81v_125c"``.
+        delay_derate: multiplier on cell delays (>1 for slow corners).
+        wire_r_derate: multiplier on wire resistance.
+        wire_c_derate: multiplier on wire capacitance.
+        leakage_derate: multiplier on leakage power.
+        voltage: supply voltage in volts at this corner.
+    """
+
+    name: str
+    delay_derate: float
+    wire_r_derate: float
+    wire_c_derate: float
+    leakage_derate: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("delay_derate", "wire_r_derate", "wire_c_derate",
+                           "leakage_derate", "voltage"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"corner {self.name}: {field_name} must be positive")
+
+
+class CornerSet:
+    """The corners analysed for a technology, with named roles.
+
+    ``slowest`` is used for timing closure, ``typical`` for power —
+    mirroring the paper's sign-off setup.
+    """
+
+    def __init__(self, corners: List[Corner], typical: str, slowest: str):
+        if not corners:
+            raise ValueError("a corner set cannot be empty")
+        self._by_name: Dict[str, Corner] = {}
+        for corner in corners:
+            if corner.name in self._by_name:
+                raise ValueError(f"duplicate corner name {corner.name}")
+            self._by_name[corner.name] = corner
+        if typical not in self._by_name:
+            raise ValueError(f"typical corner {typical!r} not in set")
+        if slowest not in self._by_name:
+            raise ValueError(f"slowest corner {slowest!r} not in set")
+        self._typical_name = typical
+        self._slowest_name = slowest
+
+    @property
+    def typical(self) -> Corner:
+        """The corner power is reported at."""
+        return self._by_name[self._typical_name]
+
+    @property
+    def slowest(self) -> Corner:
+        """The corner timing is closed at."""
+        return self._by_name[self._slowest_name]
+
+    def corner(self, name: str) -> Corner:
+        return self._by_name[name]
+
+    def __iter__(self) -> Iterator[Corner]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def names(self) -> List[str]:
+        return list(self._by_name)
+
+
+def default_corner_set(nominal_voltage: float = 0.9) -> CornerSet:
+    """Three-corner set (slow / typical / fast) for a 28 nm-class node."""
+    slow = Corner(
+        name="ss_low_hot",
+        delay_derate=1.28,
+        wire_r_derate=1.10,
+        wire_c_derate=1.06,
+        leakage_derate=4.0,
+        voltage=nominal_voltage * 0.9,
+    )
+    typical = Corner(
+        name="tt_nom_25c",
+        delay_derate=1.0,
+        wire_r_derate=1.0,
+        wire_c_derate=1.0,
+        leakage_derate=1.0,
+        voltage=nominal_voltage,
+    )
+    fast = Corner(
+        name="ff_high_cold",
+        delay_derate=0.82,
+        wire_r_derate=0.92,
+        wire_c_derate=0.95,
+        leakage_derate=2.2,
+        voltage=nominal_voltage * 1.1,
+    )
+    return CornerSet([slow, typical, fast], typical="tt_nom_25c", slowest="ss_low_hot")

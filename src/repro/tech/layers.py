@@ -1,0 +1,216 @@
+"""Back-end-of-line (BEOL) layer stack modeling.
+
+A :class:`LayerStack` is an alternating sequence of routing (metal) layers
+and cut (via) layers, ordered bottom-up, exactly as a techlef describes
+it.  Each routing layer carries the geometry and parasitics the router and
+extractor need: preferred direction, routing pitch, and resistance /
+capacitance per micrometre of wire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Union
+
+
+class LayerDirection(enum.Enum):
+    """Preferred routing direction of a metal layer."""
+
+    HORIZONTAL = "horizontal"
+    VERTICAL = "vertical"
+
+    def flipped(self) -> "LayerDirection":
+        if self is LayerDirection.HORIZONTAL:
+            return LayerDirection.VERTICAL
+        return LayerDirection.HORIZONTAL
+
+
+@dataclass(frozen=True)
+class RoutingLayer:
+    """A metal routing layer.
+
+    Attributes:
+        name: unique layer name, e.g. ``"M3"`` or ``"M3_MD"``.
+        direction: preferred routing direction.
+        pitch: track pitch in um (wire width + spacing).
+        width: default wire width in um.
+        thickness: metal thickness in um (used for documentation/cost).
+        r_per_um: wire resistance in ohm per um at the typical corner.
+        c_per_um: wire capacitance in fF per um at the typical corner.
+    """
+
+    name: str
+    direction: LayerDirection
+    pitch: float
+    width: float
+    thickness: float
+    r_per_um: float
+    c_per_um: float
+
+    def __post_init__(self) -> None:
+        if self.pitch <= 0 or self.width <= 0 or self.thickness <= 0:
+            raise ValueError(f"layer {self.name}: geometry must be positive")
+        if self.r_per_um <= 0 or self.c_per_um <= 0:
+            raise ValueError(f"layer {self.name}: parasitics must be positive")
+
+    def renamed(self, name: str) -> "RoutingLayer":
+        """A copy of this layer under a new unique name (for ``_MD`` aliasing)."""
+        return replace(self, name=name)
+
+
+@dataclass(frozen=True)
+class CutLayer:
+    """A via (cut) layer connecting two adjacent routing layers.
+
+    Attributes:
+        name: unique layer name, e.g. ``"VIA12"`` or ``"F2F_VIA"``.
+        resistance: via resistance in ohm.
+        capacitance: via capacitance in fF.
+        pitch: minimum centre-to-centre pitch in um.
+        size: via side length in um.
+        height: via height in um.
+    """
+
+    name: str
+    resistance: float
+    capacitance: float
+    pitch: float
+    size: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"cut layer {self.name}: resistance must be positive")
+        if self.capacitance < 0:
+            raise ValueError(f"cut layer {self.name}: capacitance must be >= 0")
+        if self.pitch <= 0 or self.size <= 0 or self.height <= 0:
+            raise ValueError(f"cut layer {self.name}: geometry must be positive")
+
+    def renamed(self, name: str) -> "CutLayer":
+        """A copy of this layer under a new unique name."""
+        return replace(self, name=name)
+
+
+Layer = Union[RoutingLayer, CutLayer]
+
+
+class LayerStack:
+    """An ordered bottom-up BEOL stack of alternating routing and cut layers.
+
+    The stack must start with a routing layer and alternate strictly; this
+    mirrors how a techlef orders layers and is asserted at construction so
+    downstream code can rely on ``routing_layers[i]`` being connected to
+    ``routing_layers[i+1]`` through ``cut_layers[i]``.
+    """
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("a layer stack cannot be empty")
+        if not isinstance(layers[0], RoutingLayer):
+            raise ValueError("a layer stack must start with a routing layer")
+        for below, above in zip(layers, layers[1:]):
+            if isinstance(below, RoutingLayer) == isinstance(above, RoutingLayer):
+                raise ValueError(
+                    f"layers {below.name} and {above.name} do not alternate "
+                    "between routing and cut"
+                )
+        if not isinstance(layers[-1], RoutingLayer):
+            raise ValueError("a layer stack must end with a routing layer")
+        names = [layer.name for layer in layers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate layer names in stack: {names}")
+        self._layers: List[Layer] = list(layers)
+        self._index: Dict[str, int] = {layer.name: i for i, layer in enumerate(layers)}
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def layers(self) -> List[Layer]:
+        """All layers bottom-up (routing and cut interleaved)."""
+        return list(self._layers)
+
+    @property
+    def routing_layers(self) -> List[RoutingLayer]:
+        """Only the metal layers, bottom-up."""
+        return [l for l in self._layers if isinstance(l, RoutingLayer)]
+
+    @property
+    def cut_layers(self) -> List[CutLayer]:
+        """Only the via layers, bottom-up."""
+        return [l for l in self._layers if isinstance(l, CutLayer)]
+
+    @property
+    def num_routing_layers(self) -> int:
+        return len(self.routing_layers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def layer(self, name: str) -> Layer:
+        """Look a layer up by name; raises KeyError for unknown names."""
+        return self._layers[self._index[name]]
+
+    def routing_layer(self, name: str) -> RoutingLayer:
+        layer = self.layer(name)
+        if not isinstance(layer, RoutingLayer):
+            raise KeyError(f"{name} is a cut layer, not a routing layer")
+        return layer
+
+    def routing_index(self, name: str) -> int:
+        """Index of a metal layer within :attr:`routing_layers` (0 = M1)."""
+        for i, layer in enumerate(self.routing_layers):
+            if layer.name == name:
+                return i
+        raise KeyError(f"no routing layer named {name}")
+
+    def cut_between(self, lower_index: int) -> CutLayer:
+        """The cut layer between routing layers ``lower_index`` and ``lower_index+1``."""
+        cuts = self.cut_layers
+        if not 0 <= lower_index < len(cuts):
+            raise IndexError(f"no cut layer above routing layer {lower_index}")
+        return cuts[lower_index]
+
+    # -- transformations --------------------------------------------------------
+
+    def with_suffix(self, suffix: str) -> "LayerStack":
+        """A copy of this stack with every layer name suffixed (e.g. ``"_MD"``).
+
+        This is the scripted rename step of the Macro-3D flow applied to the
+        macro die so layer names remain unique in the combined stack.
+        """
+        return LayerStack([layer.renamed(layer.name + suffix) for layer in self._layers])
+
+    def truncated(self, num_routing_layers: int) -> "LayerStack":
+        """A copy keeping only the bottom ``num_routing_layers`` metal layers.
+
+        Used for the heterogeneous-BEOL experiment (macro die M6 -> M4,
+        Table III).
+        """
+        if not 1 <= num_routing_layers <= self.num_routing_layers:
+            raise ValueError(
+                f"cannot truncate a {self.num_routing_layers}-metal stack "
+                f"to {num_routing_layers} layers"
+            )
+        kept: List[Layer] = []
+        seen_routing = 0
+        for layer in self._layers:
+            if isinstance(layer, RoutingLayer):
+                seen_routing += 1
+                kept.append(layer)
+                if seen_routing == num_routing_layers:
+                    break
+            else:
+                kept.append(layer)
+        return LayerStack(kept)
+
+    def total_metal_area(self, footprint_area: float) -> float:
+        """Total metal-layer area (um2): footprint x number of metal layers.
+
+        This is the manufacturing-cost proxy ``Ametal`` of Table III.
+        """
+        return footprint_area * self.num_routing_layers
+
+    def __repr__(self) -> str:
+        names = "->".join(layer.name for layer in self._layers)
+        return f"LayerStack({names})"

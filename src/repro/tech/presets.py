@@ -1,0 +1,104 @@
+"""Technology presets.
+
+:func:`hk28` models a commercial 28 nm high-k metal-gate planar technology
+of the class used in the paper (Sec. V-2): six metal layers per die, a
+1.2 um standard-cell row and a 0.9 V supply.  Parasitic values are
+representative of published 28 nm BEOL data; the F2F via spec uses the
+paper's own numbers (1 um pitch, 0.5 um size, 0.17 um height, 44 mOhm,
+1.0 fF).
+
+The real PDK is proprietary — this preset is the DESIGN.md substitution
+for it.  All flow comparisons depend only on the relative layer
+parasitics, which these values capture.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.tech.layers import CutLayer, Layer, LayerDirection, LayerStack, RoutingLayer
+from repro.tech.technology import F2FViaSpec, Technology, make_technology
+
+#: (pitch, width, thickness, r_per_um, c_per_um) for metals M1..M6.
+_HK28_METALS = [
+    (0.10, 0.050, 0.090, 4.00, 0.200),
+    (0.10, 0.050, 0.090, 3.00, 0.210),
+    (0.10, 0.050, 0.090, 3.00, 0.210),
+    (0.14, 0.070, 0.130, 1.60, 0.220),
+    (0.20, 0.100, 0.180, 0.90, 0.230),
+    (0.40, 0.200, 0.350, 0.35, 0.240),
+]
+
+#: (resistance, capacitance, pitch, size, height) for vias VIA12..VIA56.
+_HK28_VIAS = [
+    (9.0, 0.05, 0.10, 0.05, 0.09),
+    (8.0, 0.05, 0.10, 0.05, 0.09),
+    (6.0, 0.06, 0.14, 0.07, 0.10),
+    (4.0, 0.06, 0.20, 0.10, 0.14),
+    (2.5, 0.07, 0.40, 0.20, 0.20),
+]
+
+
+def hk28_stack(num_metal_layers: int = 6) -> LayerStack:
+    """A 28 nm-class BEOL stack with the bottom ``num_metal_layers`` metals."""
+    if not 1 <= num_metal_layers <= len(_HK28_METALS):
+        raise ValueError(
+            f"hk28 supports 1..{len(_HK28_METALS)} metal layers, "
+            f"got {num_metal_layers}"
+        )
+    layers: List[Layer] = []
+    direction = LayerDirection.HORIZONTAL
+    for i in range(num_metal_layers):
+        pitch, width, thickness, r_per_um, c_per_um = _HK28_METALS[i]
+        layers.append(
+            RoutingLayer(
+                name=f"M{i + 1}",
+                direction=direction,
+                pitch=pitch,
+                width=width,
+                thickness=thickness,
+                r_per_um=r_per_um,
+                c_per_um=c_per_um,
+            )
+        )
+        direction = direction.flipped()
+        if i < num_metal_layers - 1:
+            resistance, capacitance, pitch, size, height = _HK28_VIAS[i]
+            layers.append(
+                CutLayer(
+                    name=f"VIA{i + 1}{i + 2}",
+                    resistance=resistance,
+                    capacitance=capacitance,
+                    pitch=pitch,
+                    size=size,
+                    height=height,
+                )
+            )
+    return LayerStack(layers)
+
+
+def hk28(
+    num_metal_layers: int = 6,
+    f2f: Optional[F2FViaSpec] = None,
+) -> Technology:
+    """The 28 nm-class logic-die technology used throughout the case study."""
+    return make_technology(
+        name="hk28",
+        node_nm=28,
+        stack=hk28_stack(num_metal_layers),
+        row_height=1.2,
+        site_width=0.2,
+        nominal_voltage=0.9,
+        f2f=f2f if f2f is not None else F2FViaSpec(),
+    )
+
+
+def hk28_macro_die(num_metal_layers: int = 6) -> Technology:
+    """The macro-die technology variant.
+
+    Same node and corners as the logic die (the case study keeps the
+    substrate technology equal and varies only the BEOL), with a possibly
+    reduced metal count — ``num_metal_layers=4`` reproduces the
+    heterogeneous M6-M4 stack of Table III.
+    """
+    return hk28(num_metal_layers=num_metal_layers)

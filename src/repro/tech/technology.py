@@ -1,0 +1,135 @@
+"""The :class:`Technology` container consumed by every flow stage.
+
+A technology bundles one die's BEOL layer stack, the process corners, the
+standard-cell placement basis (row height, site width, filler-cell size)
+and — for 3D designs — the face-to-face via specification used when
+merging two dies' BEOLs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.corners import CornerSet, default_corner_set
+from repro.tech.layers import CutLayer, LayerStack
+
+
+@dataclass(frozen=True)
+class F2FViaSpec:
+    """Geometry and electricals of a face-to-face bonding via.
+
+    Defaults follow the paper (Sec. V-2): minimum pitch 1 um, size
+    0.5 um x 0.5 um, height 0.17 um, mean resistance 44 mOhm and
+    capacitance 1.0 fF at the typical corner.
+    """
+
+    pitch: float = 1.0
+    size: float = 0.5
+    height: float = 0.17
+    resistance: float = 0.044
+    capacitance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pitch <= 0 or self.size <= 0 or self.height <= 0:
+            raise ValueError("F2F via geometry must be positive")
+        if self.resistance <= 0 or self.capacitance < 0:
+            raise ValueError("F2F via electricals must be non-negative")
+        if self.size > self.pitch:
+            raise ValueError("F2F via size cannot exceed its pitch")
+
+    def as_cut_layer(self, name: str = "F2F_VIA") -> CutLayer:
+        """The F2F bond expressed as a via layer of the combined stack."""
+        return CutLayer(
+            name=name,
+            resistance=self.resistance,
+            capacitance=self.capacitance,
+            pitch=self.pitch,
+            size=self.size,
+            height=self.height,
+        )
+
+    def max_bumps(self, area_um2: float) -> int:
+        """Upper bound on bump count for a die area, set by the minimum pitch."""
+        return int(area_um2 / (self.pitch * self.pitch))
+
+
+@dataclass(frozen=True)
+class Technology:
+    """One die's fabrication technology.
+
+    Attributes:
+        name: technology name, e.g. ``"hk28"``.
+        node_nm: feature size in nanometres (documentation only).
+        stack: the BEOL layer stack of this die.
+        corners: process corners (timing at slowest, power at typical).
+        row_height: standard-cell row height in um.
+        site_width: placement site width in um.
+        filler_width: width of the smallest filler cell in um; Macro-3D
+            shrinks macro-die macros to this substrate footprint because
+            commercial tools do not allow zero-area instances.
+        nominal_voltage: supply voltage in volts.
+        f2f: face-to-face via spec used when this die participates in a stack.
+    """
+
+    name: str
+    node_nm: int
+    stack: LayerStack
+    corners: CornerSet
+    row_height: float
+    site_width: float
+    filler_width: float
+    nominal_voltage: float
+    f2f: F2FViaSpec
+
+    def __post_init__(self) -> None:
+        if self.row_height <= 0 or self.site_width <= 0 or self.filler_width <= 0:
+            raise ValueError("placement basis dimensions must be positive")
+        if self.nominal_voltage <= 0:
+            raise ValueError("nominal voltage must be positive")
+        if self.filler_width < self.site_width:
+            raise ValueError("filler cell cannot be narrower than one site")
+
+    @property
+    def num_metal_layers(self) -> int:
+        return self.stack.num_routing_layers
+
+    def with_stack(self, stack: LayerStack) -> "Technology":
+        """A copy of this technology with a different BEOL stack.
+
+        Used to derive the macro-die technology variants (e.g. the four-
+        metal stack of Table III) without duplicating the rest.
+        """
+        return Technology(
+            name=self.name,
+            node_nm=self.node_nm,
+            stack=stack,
+            corners=self.corners,
+            row_height=self.row_height,
+            site_width=self.site_width,
+            filler_width=self.filler_width,
+            nominal_voltage=self.nominal_voltage,
+            f2f=self.f2f,
+        )
+
+
+def make_technology(
+    name: str,
+    node_nm: int,
+    stack: LayerStack,
+    row_height: float,
+    site_width: float,
+    nominal_voltage: float = 0.9,
+    f2f: F2FViaSpec = F2FViaSpec(),
+) -> Technology:
+    """Convenience constructor with a default corner set and filler size."""
+    return Technology(
+        name=name,
+        node_nm=node_nm,
+        stack=stack,
+        corners=default_corner_set(nominal_voltage),
+        row_height=row_height,
+        site_width=site_width,
+        filler_width=site_width,
+        nominal_voltage=nominal_voltage,
+        f2f=f2f,
+    )

@@ -1,0 +1,10 @@
+"""Tier partitioning and F2F via planning (used by the S2D/C2D baselines).
+
+Macro-3D needs neither — its single 2D P&R pass on the combined BEOL is
+already the final 3D implementation — which is the paper's core claim.
+"""
+
+from repro.tier.partition import PartitionResult, tier_partition
+from repro.tier.f2f_planner import F2FPlan, plan_f2f_vias
+
+__all__ = ["PartitionResult", "tier_partition", "F2FPlan", "plan_f2f_vias"]

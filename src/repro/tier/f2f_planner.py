@@ -1,0 +1,101 @@
+"""F2F via planning for the S2D/C2D flows.
+
+After tier partitioning, every net spanning both dies needs at least one
+face-to-face bump.  The planner walks each cut net, places one bump per
+die crossing at the nearest legal site of the bonding grid (minimum
+pitch), and reports the bump count that Tables I-III compare.
+
+In Macro-3D this step does not exist — the 2D router inserts F2F vias
+itself because they are just another cut layer of the combined stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.geom import Point
+from repro.netlist.core import Instance, Net, Netlist
+from repro.place.global_place import Placement
+from repro.tech.technology import F2FViaSpec
+from repro.tier.partition import PartitionResult
+
+
+@dataclass
+class F2FPlan:
+    """Planned bumps: one entry per (net, crossing)."""
+
+    #: net name -> list of bump locations.
+    bumps: Dict[str, List[Point]] = field(default_factory=dict)
+
+    @property
+    def total_bumps(self) -> int:
+        return sum(len(v) for v in self.bumps.values())
+
+
+def _snap(value: float, pitch: float) -> float:
+    return round(value / pitch) * pitch
+
+
+def plan_f2f_vias(
+    netlist: Netlist,
+    placement: Placement,
+    partition: PartitionResult,
+    f2f: F2FViaSpec,
+) -> F2FPlan:
+    """Plan bump locations for every die-crossing net.
+
+    A net gets one bump per connected group transition: the planner
+    clusters the net's terminals per die and drops one bump at the
+    capacitance-weighted midpoint between the die-0 and die-1 clusters,
+    snapped to the bonding grid.  Occupied sites overflow to the next
+    free site on a small spiral — bump supply at 1 um pitch is plentiful,
+    the search is only to keep sites unique.
+    """
+    plan = F2FPlan()
+    occupied: Set[Tuple[int, int]] = set()
+    pitch = f2f.pitch
+
+    for net in netlist.nets:
+        if net.degree < 2 or net.is_clock:
+            continue  # clock bumps are accounted by the CTS model
+        groups: Dict[int, List[Point]] = {0: [], 1: []}
+        for term in net.terms:
+            obj, _pin = term
+            if isinstance(obj, Instance):
+                die = partition.assignment.get(obj.name, 0)
+            else:
+                die = 0  # ports stay on the bottom die
+            groups[die].append(placement.term_position(term))
+        if not groups[0] or not groups[1]:
+            continue
+        mid_x = (
+            sum(p.x for p in groups[0]) / len(groups[0])
+            + sum(p.x for p in groups[1]) / len(groups[1])
+        ) / 2.0
+        mid_y = (
+            sum(p.y for p in groups[0]) / len(groups[0])
+            + sum(p.y for p in groups[1]) / len(groups[1])
+        ) / 2.0
+        site = (int(round(mid_x / pitch)), int(round(mid_y / pitch)))
+        # Spiral to a free site.
+        radius = 0
+        placed = None
+        while placed is None:
+            for dx in range(-radius, radius + 1):
+                for dy in range(-radius, radius + 1):
+                    if max(abs(dx), abs(dy)) != radius:
+                        continue
+                    candidate = (site[0] + dx, site[1] + dy)
+                    if candidate not in occupied:
+                        placed = candidate
+                        break
+                if placed:
+                    break
+            radius += 1
+        occupied.add(placed)
+        plan.bumps.setdefault(net.name, []).append(
+            Point(placed[0] * pitch, placed[1] * pitch)
+        )
+    return plan

@@ -1,0 +1,16 @@
+"""Static timing analysis, clock-tree synthesis model, constraints."""
+
+from repro.timing.clock_tree import ClockTree, ClockTreeOptions, synthesize_clock_tree
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import StaResult, run_sta
+
+__all__ = [
+    "ClockTree",
+    "ClockTreeOptions",
+    "synthesize_clock_tree",
+    "TimingConstraints",
+    "TimingGraph",
+    "StaResult",
+    "run_sta",
+]

@@ -1,0 +1,124 @@
+"""Clock-tree synthesis model.
+
+A buffered H-tree over the clock sinks (flop CK pins and macro CLK pins).
+The model captures what the flows compare on:
+
+- **depth** — the max clock-tree depth of Table II.  Levels come from two
+  sources: fan-out (every level halves the sink population until a leaf
+  buffer drives at most ``leaf_fanout`` sinks) and span (long trunks need
+  repeater stages about every ``buffer_reach`` um).  The 2D large-cache
+  design pays many span levels over its 3.9 mm2 floorplan; MoL halves the
+  footprint and loses them — reproducing the paper's 20 vs 16.
+- **skew** — grows with depth; fed to STA as a cycle margin.
+- **wirelength / capacitance / buffers** — charged to total wirelength,
+  pin capacitance and (at 100 % activity) clock power.
+- **F2F hops** — macro-die clock pins each cost one F2F bump in a merged
+  stack, which joins the bump count of Tables I-III.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cells.library import StdCellLibrary
+from repro.cells.stdcell import StdCell
+from repro.geom import Point, Rect
+from repro.tech.layers import RoutingLayer
+
+
+@dataclass(frozen=True)
+class ClockTreeOptions:
+    """CTS model parameters."""
+
+    #: Max sinks a leaf clock buffer drives.
+    leaf_fanout: int = 16
+    #: Distance (um) one buffered clock stage spans comfortably.
+    buffer_reach: float = 350.0
+    #: Skew model: base plus per-level contribution, ps.
+    skew_base: float = 4.0
+    skew_per_level: float = 1.6
+    #: Clock buffer cell.
+    buffer_cell: str = "CLKBUF_X8"
+
+
+@dataclass
+class ClockTree:
+    """Result of clock-tree synthesis."""
+
+    num_sinks: int
+    depth: int
+    num_buffers: int
+    wirelength: float
+    #: Total switched clock capacitance (wire + sink pins + buffers), fF.
+    capacitance: float
+    skew: float
+    #: F2F bumps consumed by clock distribution into the macro die.
+    f2f_count: int
+    buffer_cell: StdCell
+
+    @property
+    def buffer_area(self) -> float:
+        return self.num_buffers * self.buffer_cell.area
+
+    def energy_per_cycle(self, voltage: float) -> float:
+        """Clock network energy in fJ per cycle (activity = 1.0)."""
+        internal = self.num_buffers * self.buffer_cell.internal_energy
+        return self.capacitance * voltage * voltage + internal
+
+
+def synthesize_clock_tree(
+    sinks: Sequence[Point],
+    sink_pin_cap: float,
+    outline: Rect,
+    clock_layer: RoutingLayer,
+    library: StdCellLibrary,
+    macro_die_sinks: int = 0,
+    options: ClockTreeOptions = ClockTreeOptions(),
+) -> ClockTree:
+    """Synthesise the clock distribution model for one design.
+
+    Args:
+        sinks: locations of all clocked pins.
+        sink_pin_cap: average clock-pin capacitance, fF.
+        outline: die outline (sets the spanned region).
+        clock_layer: metal layer the trunks run on (sets wire parasitics).
+        library: standard-cell library holding the clock buffer.
+        macro_die_sinks: clock sinks physically in the macro die of a
+            merged stack (each costs one F2F bump).
+        options: model parameters.
+    """
+    n = max(1, len(sinks))
+    span = math.hypot(outline.width, outline.height)
+
+    fanout_levels = max(1, math.ceil(math.log2(max(n / options.leaf_fanout, 1.0))))
+    span_levels = max(1, math.ceil(span / options.buffer_reach))
+    depth = fanout_levels + span_levels
+
+    # Buffers: a leaf buffer per fanout group plus the binary trunk above.
+    leaves = math.ceil(n / options.leaf_fanout)
+    num_buffers = 2 * leaves + depth
+
+    # H-tree wirelength: trunk contributes ~3x the span per halving wave;
+    # leaf stubs average a quarter of the leaf region pitch.
+    leaf_pitch = span / math.sqrt(max(leaves, 1))
+    wirelength = 3.0 * span + leaves * leaf_pitch * 0.5 + n * leaf_pitch * 0.25
+
+    buffer_cell = library.cell(options.buffer_cell)
+    capacitance = (
+        wirelength * clock_layer.c_per_um
+        + n * sink_pin_cap
+        + num_buffers * buffer_cell.pins[0].capacitance
+    )
+    skew = options.skew_base + options.skew_per_level * depth
+    return ClockTree(
+        num_sinks=n,
+        depth=depth,
+        num_buffers=num_buffers,
+        wirelength=wirelength,
+        capacitance=capacitance,
+        skew=skew,
+        f2f_count=macro_die_sinks,
+        buffer_cell=buffer_cell,
+    )

@@ -1,0 +1,42 @@
+"""Timing constraints (the SDC of the case study).
+
+The tile constraints follow paper Sec. V-1: one clock, and half-cycle IO
+delays on the inter-tile NoC pins so that an output-pin-to-input-pin hop
+between abutted tiles closes in one cycle.  IO delay fractions live on
+the ports themselves (:class:`~repro.netlist.core.PortConstraint`); this
+class carries the design-wide quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingConstraints:
+    """Design-wide timing context.
+
+    Attributes:
+        clock_name: name of the clock net.
+        clock_uncertainty: fixed jitter/margin in ps.
+        clock_skew: CTS-reported skew in ps (added to the uncertainty).
+        toggle_rate: switching activity per cycle for power (paper: 0.2).
+    """
+
+    clock_name: str = "clk"
+    clock_uncertainty: float = 20.0
+    clock_skew: float = 0.0
+    toggle_rate: float = 0.2
+
+    @property
+    def total_margin(self) -> float:
+        """Cycle-budget margin subtracted from every setup check, ps."""
+        return self.clock_uncertainty + self.clock_skew
+
+    def with_skew(self, skew: float) -> "TimingConstraints":
+        return TimingConstraints(
+            clock_name=self.clock_name,
+            clock_uncertainty=self.clock_uncertainty,
+            clock_skew=skew,
+            toggle_rate=self.toggle_rate,
+        )

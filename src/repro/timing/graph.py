@@ -1,0 +1,190 @@
+"""The timing DAG at net granularity.
+
+Each node is a net, timed at its driver output.  Combinational cells
+create arcs from their input nets to their output net; sequential
+elements (flops, memory macros) and ports are launch/capture boundaries.
+The graph is purely structural — delays are evaluated by
+:mod:`repro.timing.sta` against a set of parasitics, so the same graph
+serves every corner and every optimization iteration.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.macro import Macro
+from repro.cells.stdcell import PinDirection, StdCell
+from repro.netlist.core import Instance, Net, Netlist, Port
+
+
+@dataclass
+class LaunchPoint:
+    """A net driven by a sequential element or an input port."""
+
+    net: Net
+    #: "flop", "macro" or "port".
+    kind: str
+    #: Driving instance (None for ports).
+    instance: Optional[Instance]
+    #: IO delay fraction for port launches (0 otherwise).
+    io_fraction: float = 0.0
+
+
+@dataclass
+class CombArc:
+    """A combinational cell: input nets -> output net."""
+
+    instance: Instance
+    output_net: Net
+    #: (input net, sink term index of this cell's pin on that net).
+    inputs: List[Tuple[Net, int]] = field(default_factory=list)
+
+
+@dataclass
+class Endpoint:
+    """A capture point: flop D, macro input pin, or output port."""
+
+    net: Net
+    #: Term index of the endpoint pin on ``net``.
+    sink_index: int
+    #: "flop", "macro" or "port".
+    kind: str
+    #: Setup time in ps (for flop/macro endpoints, underated).
+    setup: float = 0.0
+    #: IO delay fraction for port endpoints.
+    io_fraction: float = 0.0
+    #: Human-readable endpoint name for reports.
+    name: str = ""
+
+
+class TimingGraph:
+    """Topologically ordered net-level timing structure of a netlist."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.launches: Dict[int, LaunchPoint] = {}
+        self.arcs: Dict[int, CombArc] = {}
+        self.endpoints: List[Endpoint] = []
+        #: term index per net id and (id(obj), pin).
+        self._term_index: Dict[int, Dict[Tuple[int, str], int]] = {}
+        self._build()
+        self.order: List[Net] = self._topological_order()
+
+    # -- construction -----------------------------------------------------------
+
+    def term_index(self, net: Net, obj: object, pin: str) -> int:
+        return self._term_index[net.id][(id(obj), pin)]
+
+    def _build(self) -> None:
+        for net in self.netlist.nets:
+            self._term_index[net.id] = {
+                (id(obj), pin): k for k, (obj, pin) in enumerate(net.terms)
+            }
+
+        for net in self.netlist.nets:
+            if net.is_clock or net.driver is None:
+                continue
+            obj, pin = net.driver
+            if isinstance(obj, Port):
+                fraction = obj.constraint.io_delay_fraction if obj.constraint else 0.0
+                self.launches[net.id] = LaunchPoint(net, "port", None, fraction)
+                continue
+            assert isinstance(obj, Instance)
+            master = obj.master
+            if isinstance(master, StdCell):
+                if master.is_sequential:
+                    self.launches[net.id] = LaunchPoint(net, "flop", obj)
+                else:
+                    arc = CombArc(obj, net)
+                    for in_pin in master.input_pins:
+                        in_net = obj.net_on(in_pin.name)
+                        if in_net is None or in_net.is_clock:
+                            continue
+                        arc.inputs.append(
+                            (in_net, self.term_index(in_net, obj, in_pin.name))
+                        )
+                    self.arcs[net.id] = arc
+            else:
+                assert isinstance(master, Macro)
+                self.launches[net.id] = LaunchPoint(net, "macro", obj)
+
+        # Endpoints.
+        for net in self.netlist.nets:
+            if net.is_clock:
+                continue
+            for k, (obj, pin) in enumerate(net.terms):
+                if (obj, pin) == net.driver:
+                    continue
+                if isinstance(obj, Port):
+                    if obj.direction is PinDirection.OUTPUT:
+                        fraction = (
+                            obj.constraint.io_delay_fraction
+                            if obj.constraint
+                            else 0.0
+                        )
+                        self.endpoints.append(
+                            Endpoint(net, k, "port", 0.0, fraction, obj.name)
+                        )
+                    continue
+                assert isinstance(obj, Instance)
+                master = obj.master
+                if isinstance(master, StdCell):
+                    if master.is_sequential and pin == "D":
+                        self.endpoints.append(
+                            Endpoint(net, k, "flop", master.setup_time,
+                                     0.0, f"{obj.name}/D")
+                        )
+                elif master.is_memory:
+                    direction = master.pin(pin).direction
+                    if direction is PinDirection.INPUT:
+                        self.endpoints.append(
+                            Endpoint(net, k, "macro", master.setup_time,
+                                     0.0, f"{obj.name}/{pin}")
+                        )
+
+    def _topological_order(self) -> List[Net]:
+        """Kahn's algorithm over combinational arcs."""
+        indegree: Dict[int, int] = {}
+        dependents: Dict[int, List[int]] = {}
+        for net_id, arc in self.arcs.items():
+            count = 0
+            for in_net, _sink in arc.inputs:
+                if in_net.id in self.arcs or in_net.id in self.launches:
+                    if in_net.id in self.arcs:
+                        count += 1
+                    dependents.setdefault(in_net.id, []).append(net_id)
+            indegree[net_id] = count
+
+        order: List[Net] = []
+        ready = deque()
+        for net in self.netlist.nets:
+            if net.id in self.launches:
+                order.append(net)
+            elif net.id in self.arcs and indegree[net.id] == 0:
+                ready.append(net.id)
+
+        visited = 0
+        by_id = {net.id: net for net in self.netlist.nets}
+        remaining = dict(indegree)
+        queue = deque(ready)
+        while queue:
+            net_id = queue.popleft()
+            order.append(by_id[net_id])
+            visited += 1
+            for dep in dependents.get(net_id, []):
+                remaining[dep] -= 1
+                if remaining[dep] == 0:
+                    queue.append(dep)
+        # Kick off dependents of launch nets too.
+        # (handled above since launch nets don't count toward indegree)
+        unresolved = [
+            by_id[nid].name for nid, deg in remaining.items() if deg > 0
+        ]
+        if unresolved:
+            raise ValueError(
+                f"combinational loop through nets: {unresolved[:5]} "
+                f"({len(unresolved)} total)"
+            )
+        return order

@@ -1,0 +1,111 @@
+"""Timing report writer — the ``report_timing`` of this flow.
+
+Renders the worst paths of an :class:`~repro.timing.sta.StaResult` as the
+familiar sign-off text: one block per endpoint with launch kind, per-net
+hops (driver cell, fanout, wire delay), data arrival, and the period the
+endpoint demands.  Used by the examples and handy when debugging why a
+flow closed where it did.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cells.stdcell import StdCell
+from repro.extract.rc import DesignParasitics
+from repro.netlist.core import Instance, Netlist
+from repro.opt.buffering import BufferPlan
+from repro.timing.sta import StaResult
+
+
+def report_worst_endpoints(result: StaResult, count: int = 10) -> str:
+    """A ranked list of the endpoints demanding the longest periods."""
+    ranked = sorted(
+        result.endpoint_period.items(), key=lambda kv: -kv[1]
+    )[:count]
+    lines = [
+        f"Worst {len(ranked)} endpoints "
+        f"(min feasible period {result.min_period:.0f} ps, "
+        f"fmax {result.fmax_mhz:.1f} MHz):"
+    ]
+    for rank, (name, period) in enumerate(ranked, 1):
+        slack = result.min_period - period
+        lines.append(
+            f"  {rank:2d}. {name:40s} period {period:8.1f} ps  "
+            f"slack-to-worst {slack:8.1f} ps"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def report_critical_path(
+    result: StaResult,
+    netlist: Netlist,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+) -> str:
+    """A hop-by-hop breakdown of the binding path.
+
+    Per net on the path: the driving cell (master, drive), its load, the
+    stage delay, the worst wire delay, and the repeater count the plan
+    assigned — the columns a sign-off engineer reads first.
+    """
+    critical = result.critical
+    if critical is None:
+        return "No critical path (design has no constrained endpoints).\n"
+    derate = parasitics.corner.delay_derate
+    lines = [
+        f"Critical path to {critical.endpoint} "
+        f"({critical.launch}-cycle launch):",
+        f"  data arrival {critical.delay:.0f} ps, routed wirelength "
+        f"{critical.wirelength / 1000.0:.2f} mm, {len(critical.nets)} nets",
+        "",
+        f"  {'net':30s} {'driver':14s} {'deg':>3s} {'load fF':>8s} "
+        f"{'cell ps':>8s} {'wire ps':>8s} {'rep':>3s}",
+    ]
+    for name in critical.nets:
+        try:
+            net = netlist.net(name)
+        except KeyError:
+            continue
+        rc = parasitics.nets.get(name)
+        driver_label = "?"
+        cell_delay = 0.0
+        load = 0.0
+        if net.driver is not None:
+            obj, _pin = net.driver
+            if isinstance(obj, Instance):
+                master = obj.master
+                driver_label = master.name
+                if rc is not None:
+                    load = plan.driver_load(rc)
+                if isinstance(master, StdCell):
+                    cell_delay = master.delay(load, derate)
+            else:
+                driver_label = f"port:{obj.name}"
+        wire = 0.0
+        repeaters = 0
+        if rc is not None and rc.elmore:
+            wire = max(plan.delay_with(rc, s) for s in rc.elmore)
+            repeaters = max(
+                (plan.counts.get((name, s), 0) for s in rc.elmore), default=0
+            )
+        lines.append(
+            f"  {name[:30]:30s} {driver_label[:14]:14s} {net.degree:3d} "
+            f"{load:8.1f} {cell_delay:8.1f} {wire:8.1f} {repeaters:3d}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def report_summary(
+    result: StaResult,
+    netlist: Netlist,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    worst: int = 8,
+) -> str:
+    """The full timing report: endpoint ranking plus critical-path trace."""
+    return (
+        report_worst_endpoints(result, worst)
+        + "\n"
+        + report_critical_path(result, netlist, parasitics, plan)
+    )

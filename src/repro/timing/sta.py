@@ -1,0 +1,381 @@
+"""Graph-based static timing analysis and fmax extraction.
+
+Arrivals propagate over the net-level DAG with two components per net:
+
+- ``a0`` — worst path delay launched at a clock edge (flop Q, macro DOUT);
+- ``a5`` — worst path delay launched by a half-cycle-constrained input
+  port (the inter-tile NoC pins of paper Sec. V-1), whose launch time is
+  ``0.5 * T``.
+
+Because every delay is period-independent, the minimum feasible period
+falls out analytically from the endpoint constraints::
+
+    flop/macro endpoint:  T >= a0 + wire + setup + margin
+                          T >= (a5 + wire + setup + margin) / 0.5
+    output port (f_out):  T >= (a0 + wire + margin) / (1 - f_out)
+
+so no binary search over the clock is needed; fmax is exact for the
+delay model.  The critical path is recovered by predecessor tracing and
+reported with its routed wirelength (Table II's "Crit.-path wirelength").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cells.macro import Macro
+from repro.cells.stdcell import StdCell
+from repro.extract.rc import DesignParasitics, NetRC
+from repro.netlist.core import Instance, Net
+from repro.opt.buffering import BufferPlan
+from repro.tech.corners import Corner
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import Endpoint, TimingGraph
+from repro.units import period_to_mhz
+
+NEG_INF = -1.0e18
+
+
+@dataclass
+class CriticalPath:
+    """The binding path of the fmax computation."""
+
+    endpoint: str
+    #: Net names from launch to endpoint.
+    nets: List[str]
+    #: Routed wirelength along the path, um.
+    wirelength: float
+    #: Total path delay (launch to endpoint data arrival), ps.
+    delay: float
+    #: "full" for clock-edge launches, "half" for half-cycle IO launches.
+    launch: str
+
+
+@dataclass
+class StaResult:
+    """Outcome of one STA run."""
+
+    min_period: float
+    corner: Corner
+    critical: Optional[CriticalPath]
+    #: Endpoint name -> minimum period it alone would require.
+    endpoint_period: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fmax_mhz(self) -> float:
+        return period_to_mhz(self.min_period)
+
+    def worst_slack(self, period: float) -> float:
+        """Margin between a target period and the minimum feasible one, ps.
+
+        For endpoints with fractional cycle budgets (half-cycle IO) the
+        per-endpoint slack is not linear in the period; this global
+        margin has the right sign and zero-crossing, which is what the
+        optimization loops use it for.
+        """
+        return period - self.min_period
+
+
+class _Arrival:
+    """Per-net arrival state with predecessor tracking."""
+
+    __slots__ = ("a0", "a5", "pred0", "pred5", "wl0", "wl5")
+
+    def __init__(self) -> None:
+        self.a0 = NEG_INF
+        self.a5 = NEG_INF
+        self.pred0: Optional[Tuple[int, int]] = None  # (net id, sink idx)
+        self.pred5: Optional[Tuple[int, int]] = None
+        self.wl0 = 0.0
+        self.wl5 = 0.0
+
+
+class _DelayModel:
+    """Shared delay queries bound to one parasitic view and plan."""
+
+    def __init__(self, parasitics: DesignParasitics, plan: BufferPlan):
+        self.corner = parasitics.corner
+        self.derate = self.corner.delay_derate
+        self._rc = parasitics.nets
+        self.plan = plan
+
+    def rc_of(self, net: Net) -> Optional[NetRC]:
+        return self._rc.get(net.name)
+
+    def wire_delay(self, net: Net, sink: int) -> float:
+        rc = self.rc_of(net)
+        if rc is None:
+            return 0.0
+        return self.plan.delay_with(rc, sink)
+
+    def wire_length(self, net: Net, sink: int) -> float:
+        rc = self.rc_of(net)
+        if rc is None:
+            return 0.0
+        return rc.sink_wirelength.get(sink, 0.0)
+
+    def load_of(self, net: Net) -> float:
+        rc = self.rc_of(net)
+        if rc is None:
+            return net.total_pin_capacitance()
+        return self.plan.driver_load(rc)
+
+    def cell_delay(self, master: StdCell, net: Net) -> float:
+        return master.delay(self.load_of(net), self.derate)
+
+
+def run_sta(
+    graph: TimingGraph,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    constraints: TimingConstraints,
+) -> StaResult:
+    """Compute arrivals and the minimum feasible clock period."""
+    corner = parasitics.corner
+    derate = corner.delay_derate
+    model = _DelayModel(parasitics, plan)
+    arrivals: Dict[int, _Arrival] = {}
+
+    wire_delay = model.wire_delay
+    wire_length = model.wire_length
+    load_of = model.load_of
+
+    # Launch points.
+    for net_id, launch in graph.launches.items():
+        state = _Arrival()
+        if launch.kind == "port":
+            if launch.io_fraction > 0.0:
+                state.a5 = 0.0
+            else:
+                state.a0 = 0.0
+        elif launch.kind == "flop":
+            assert launch.instance is not None
+            master = launch.instance.master
+            assert isinstance(master, StdCell)
+            # clk->Q plus the Q driver charging its net (the cell delay
+            # model folds clk_to_q in as the intrinsic term).
+            state.a0 = model.cell_delay(master, launch.net)
+        else:  # macro
+            assert launch.instance is not None
+            master = launch.instance.master
+            assert isinstance(master, Macro)
+            state.a0 = derate * (
+                master.access_delay
+                + master.drive_resistance * load_of(launch.net) * 1.0e-3
+            )
+        arrivals[net_id] = state
+
+    # Combinational propagation in topological order.
+    for net in graph.order:
+        arc = graph.arcs.get(net.id)
+        if arc is None:
+            continue
+        state = _Arrival()
+        best0 = NEG_INF
+        best5 = NEG_INF
+        for in_net, sink in arc.inputs:
+            upstream = arrivals.get(in_net.id)
+            if upstream is None:
+                continue
+            w = wire_delay(in_net, sink)
+            wl = wire_length(in_net, sink)
+            if upstream.a0 > NEG_INF and upstream.a0 + w > best0:
+                best0 = upstream.a0 + w
+                state.pred0 = (in_net.id, sink)
+                state.wl0 = upstream.wl0 + wl
+            if upstream.a5 > NEG_INF and upstream.a5 + w > best5:
+                best5 = upstream.a5 + w
+                state.pred5 = (in_net.id, sink)
+                state.wl5 = upstream.wl5 + wl
+        master = arc.instance.master
+        assert isinstance(master, StdCell)
+        cell_delay = master.delay(load_of(net), derate)
+        if best0 > NEG_INF:
+            state.a0 = best0 + cell_delay
+        if best5 > NEG_INF:
+            state.a5 = best5 + cell_delay
+        arrivals[net.id] = state
+
+    # Endpoint constraints.
+    margin = constraints.total_margin
+    nets_by_id = {net.id: net for net in graph.netlist.nets}
+    min_period = 0.0
+    endpoint_period: Dict[str, float] = {}
+    critical: Optional[CriticalPath] = None
+
+    for endpoint in graph.endpoints:
+        state = arrivals.get(endpoint.net.id)
+        if state is None:
+            continue
+        w = wire_delay(endpoint.net, endpoint.sink_index)
+        wl_in = wire_length(endpoint.net, endpoint.sink_index)
+        setup = endpoint.setup * derate
+        candidates: List[Tuple[float, str, float, float]] = []
+        if state.a0 > NEG_INF:
+            arrival = state.a0 + w
+            if endpoint.kind == "port":
+                budget = 1.0 - endpoint.io_fraction
+                if budget <= 1e-9:
+                    raise ValueError(
+                        f"endpoint {endpoint.name}: no cycle budget left"
+                    )
+                candidates.append(
+                    ((arrival + margin) / budget, "full", arrival, state.wl0)
+                )
+            else:
+                candidates.append(
+                    (arrival + setup + margin, "full", arrival, state.wl0)
+                )
+        if state.a5 > NEG_INF:
+            arrival = state.a5 + w
+            if endpoint.kind == "port":
+                budget = 0.5 - endpoint.io_fraction
+                if budget <= 1e-9:
+                    raise ValueError(
+                        f"endpoint {endpoint.name}: half-cycle launch meets "
+                        f"half-cycle capture with no budget"
+                    )
+                candidates.append(
+                    ((arrival + margin) / budget, "half", arrival, state.wl5)
+                )
+            else:
+                candidates.append(
+                    ((arrival + setup + margin) / 0.5, "half", arrival, state.wl5)
+                )
+        if not candidates:
+            continue
+        period, launch_kind, arrival, path_wl = max(candidates)
+        endpoint_period[endpoint.name] = period
+        if period > min_period:
+            min_period = period
+            nets_on_path = _trace(
+                arrivals, nets_by_id, endpoint, launch_kind
+            )
+            critical = CriticalPath(
+                endpoint=endpoint.name,
+                nets=nets_on_path,
+                wirelength=path_wl + wl_in,
+                delay=arrival,
+                launch=launch_kind,
+            )
+
+    if min_period <= 0.0:
+        raise ValueError("design has no constrained endpoints")
+    return StaResult(
+        min_period=min_period,
+        corner=corner,
+        critical=critical,
+        endpoint_period=endpoint_period,
+    )
+
+
+def _trace(
+    arrivals: Dict[int, "_Arrival"],
+    nets_by_id: Dict[int, Net],
+    endpoint: Endpoint,
+    launch_kind: str,
+) -> List[str]:
+    """Walk predecessors from the endpoint's net back to the launch."""
+    names: List[str] = []
+    net_id: Optional[int] = endpoint.net.id
+    use_half = launch_kind == "half"
+    for _guard in range(100000):
+        if net_id is None:
+            break
+        names.append(nets_by_id[net_id].name)
+        state = arrivals.get(net_id)
+        if state is None:
+            break
+        pred = state.pred5 if use_half else state.pred0
+        if pred is None:
+            break
+        net_id = pred[0]
+    names.reverse()
+    return names
+
+
+def net_slacks(
+    graph: TimingGraph,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    constraints: TimingConstraints,
+    period: float,
+) -> Dict[int, float]:
+    """Worst setup slack per net id at a target period.
+
+    Arrivals fold the half-cycle launches in at the given period
+    (``arr = max(a0, a5 + T/2)``); required times propagate backwards
+    through the combinational arcs.  Slack 0 marks the binding paths —
+    the sizing optimizer works on everything within a small window of
+    the worst slack, which is what lets it flatten walls of near-critical
+    paths instead of chasing them one at a time.
+    """
+    model = _DelayModel(parasitics, plan)
+    derate = model.derate
+    margin = constraints.total_margin
+
+    # Forward arrivals (single effective value at this period).
+    arr: Dict[int, float] = {}
+    for net_id, launch in graph.launches.items():
+        if launch.kind == "port":
+            arr[net_id] = launch.io_fraction * period
+        elif launch.kind == "flop":
+            master = launch.instance.master
+            arr[net_id] = model.cell_delay(master, launch.net)
+        else:
+            master = launch.instance.master
+            arr[net_id] = derate * (
+                master.access_delay
+                + master.drive_resistance * model.load_of(launch.net) * 1.0e-3
+            )
+    for net in graph.order:
+        arc = graph.arcs.get(net.id)
+        if arc is None:
+            continue
+        best = 0.0
+        for in_net, sink in arc.inputs:
+            upstream = arr.get(in_net.id)
+            if upstream is None:
+                continue
+            best = max(best, upstream + model.wire_delay(in_net, sink))
+        master = arc.instance.master
+        arr[net.id] = best + model.cell_delay(master, net)
+
+    # Backward required times.
+    req: Dict[int, float] = {}
+
+    def tighten(net_id: int, value: float) -> None:
+        current = req.get(net_id)
+        if current is None or value < current:
+            req[net_id] = value
+
+    for endpoint in graph.endpoints:
+        w = model.wire_delay(endpoint.net, endpoint.sink_index)
+        if endpoint.kind == "port":
+            budget = period * (1.0 - endpoint.io_fraction)
+            tighten(endpoint.net.id, budget - margin - w)
+        else:
+            setup = endpoint.setup * derate
+            tighten(endpoint.net.id, period - setup - margin - w)
+
+    for net in reversed(graph.order):
+        arc = graph.arcs.get(net.id)
+        if arc is None:
+            continue
+        out_req = req.get(net.id)
+        if out_req is None:
+            continue
+        master = arc.instance.master
+        cell = model.cell_delay(master, net)
+        for in_net, sink in arc.inputs:
+            w = model.wire_delay(in_net, sink)
+            tighten(in_net.id, out_req - cell - w)
+
+    slacks: Dict[int, float] = {}
+    for net_id, arrival in arr.items():
+        required = req.get(net_id)
+        if required is not None:
+            slacks[net_id] = required - arrival
+    return slacks

@@ -1,0 +1,71 @@
+"""Unit conventions used throughout the library.
+
+Every module in :mod:`repro` uses one consistent set of units so that
+quantities can be combined without conversion factors scattered through
+the code:
+
+========== =========================== =========
+quantity   unit                        symbol
+========== =========================== =========
+distance   micrometre                  um
+area       square micrometre           um2
+resistance ohm                         ohm
+capacitance femtofarad                 fF
+time       picosecond                  ps
+frequency  megahertz                   MHz
+energy     femtojoule                  fJ
+power      microwatt                   uW
+voltage    volt                        V
+========== =========================== =========
+
+The only non-trivial conversions are collected here as named helpers so
+call sites read as physics, not as magic constants.
+"""
+
+from __future__ import annotations
+
+#: 1 ohm * 1 fF = 1e-15 s = 1e-3 ps.
+OHM_FF_TO_PS = 1.0e-3
+
+#: Conversion between a clock period in ps and a frequency in MHz.
+PS_MHZ_PRODUCT = 1.0e6
+
+
+def rc_to_ps(resistance_ohm: float, capacitance_ff: float) -> float:
+    """Return the RC product of ``R`` (ohm) and ``C`` (fF) in picoseconds."""
+    return resistance_ohm * capacitance_ff * OHM_FF_TO_PS
+
+
+def period_to_mhz(period_ps: float) -> float:
+    """Convert a clock period in picoseconds to a frequency in MHz."""
+    if period_ps <= 0.0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    return PS_MHZ_PRODUCT / period_ps
+
+
+def mhz_to_period(freq_mhz: float) -> float:
+    """Convert a frequency in MHz to a clock period in picoseconds."""
+    if freq_mhz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return PS_MHZ_PRODUCT / freq_mhz
+
+
+def switching_energy_fj(capacitance_ff: float, voltage_v: float) -> float:
+    """Dynamic switching energy ``C * V^2`` in fJ for a full 0->1->0 cycle.
+
+    With C in fF and V in volts the product is directly in femtojoules.
+    """
+    return capacitance_ff * voltage_v * voltage_v
+
+
+def energy_per_cycle_to_uw(energy_fj: float, freq_mhz: float) -> float:
+    """Convert energy-per-cycle (fJ) at a clock rate (MHz) to power (uW).
+
+    1 fJ * 1 MHz = 1e-15 J * 1e6 1/s = 1e-9 W = 1e-3 uW.
+    """
+    return energy_fj * freq_mhz * 1.0e-3
+
+
+def um2_to_mm2(area_um2: float) -> float:
+    """Convert an area from um^2 to mm^2."""
+    return area_um2 * 1.0e-6

@@ -1,0 +1,130 @@
+"""The Macro-3D core: projection, separation, full flow integration."""
+
+import pytest
+
+from repro.core.macro3d import run_flow_macro3d
+from repro.core.projection import project_mol
+from repro.core.separation import separate_dies
+from repro.flows.base import FlowOptions
+from repro.netlist.openpiton import build_tile, small_cache_config
+from repro.tech.beol import MACRO_DIE_SUFFIX
+from repro.tech.presets import hk28, hk28_macro_die
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def projection():
+    tile = build_tile(small_cache_config(), scale=SCALE)
+    return project_mol(tile, hk28(), hk28_macro_die())
+
+
+class TestProjection:
+    def test_macro_die_masters_edited(self, projection):
+        tile = projection.tile
+        for name in projection.macro_die_instances:
+            master = tile.netlist.instance(name).master
+            assert master.name.endswith(MACRO_DIE_SUFFIX)
+            assert all(p.layer.endswith(MACRO_DIE_SUFFIX) for p in master.pins)
+            # Substrate shrunk to filler size; full extents untouched.
+            assert master.substrate_area < 2.0
+            assert master.area > 100.0
+
+    def test_logic_die_masters_untouched(self, projection):
+        tile = projection.tile
+        edited = projection.macro_die_instances
+        for inst in tile.netlist.macros():
+            if inst.name not in edited:
+                assert not inst.master.name.endswith(MACRO_DIE_SUFFIX)
+
+    def test_combined_floorplan_holds_every_macro(self, projection):
+        placed = set(projection.combined.macro_placements)
+        assert placed == {m.name for m in projection.tile.netlist.macros()}
+
+    def test_shrunk_substrate_blocks_almost_nothing(self, projection):
+        combined = projection.combined
+        for name in projection.macro_die_instances:
+            substrate = combined.substrate_rects[name]
+            full = combined.macro_placements[name]
+            assert substrate.area < 0.01 * full.area
+
+    def test_restore_undoes_edits(self):
+        tile = build_tile(small_cache_config(), scale=SCALE)
+        originals = {m.name: m.master for m in tile.netlist.macros()}
+        projection = project_mol(tile, hk28(), hk28_macro_die())
+        projection.restore()
+        for inst in tile.netlist.macros():
+            assert inst.master is originals[inst.name]
+
+
+@pytest.fixture(scope="module")
+def macro3d_result():
+    return run_flow_macro3d(
+        small_cache_config(), scale=SCALE,
+        options=FlowOptions(sizing_iterations=4),
+    )
+
+
+class TestMacro3DFlow:
+    def test_summary_sane(self, macro3d_result):
+        summary = macro3d_result.summary
+        assert summary.fclk_mhz > 50.0
+        assert summary.footprint_mm2 > 0
+        assert summary.silicon_mm2 == pytest.approx(2 * summary.footprint_mm2)
+        assert summary.f2f_bumps > 0
+        assert summary.metal_area_mm2 == pytest.approx(
+            summary.footprint_mm2 * 12, rel=1e-6
+        )
+
+    def test_routing_mostly_in_logic_die(self, macro3d_result):
+        # "Most of the signal routing is done inside the logic die"
+        # (Sec. V-A.1); the macro die carries only pin access and
+        # congestion spill.
+        extras = macro3d_result.summary.extras
+        assert extras["logic_die_wirelength_m"] > 2 * (
+            extras["macro_die_wirelength_m"]
+        )
+
+    def test_separation_views(self, macro3d_result):
+        # Re-derive the separation from the stored pieces.
+        from repro.core.projection import MolProjection
+        # separate_dies was already validated inside the flow; check the
+        # layer bookkeeping again via the assignment.
+        assignment = macro3d_result.assignment
+        stack = macro3d_result.grid.stack
+        for layer_index in assignment.wirelength_by_layer:
+            assert 0 <= layer_index < stack.num_routing_layers
+
+    def test_heterogeneous_stack_reduces_metal_area(self):
+        thin = run_flow_macro3d(
+            small_cache_config(), scale=SCALE,
+            options=FlowOptions(sizing_iterations=2),
+            macro_tech=hk28_macro_die(num_metal_layers=4),
+        )
+        assert thin.flow == "Macro-3D M6-M4"
+        assert thin.summary.metal_area_mm2 == pytest.approx(
+            thin.summary.footprint_mm2 * 10, rel=1e-6
+        )
+
+    def test_fclk_matches_sta(self, macro3d_result):
+        assert macro3d_result.summary.fclk_mhz == pytest.approx(
+            macro3d_result.sta.fmax_mhz
+        )
+
+
+class TestSeparation:
+    def test_partition_of_layers(self, projection):
+        """separate_dies splits the metal stack exactly at the bond."""
+        from repro.route.layer_assign import LayerAssignment
+        assignment = LayerAssignment()
+        # Fake wirelength on a logic and a macro layer.
+        assignment.wirelength_by_layer = {0: 100.0, 7: 50.0}
+        dies = separate_dies(projection, assignment)
+        logic, macro = dies["logic_die"], dies["macro_die"]
+        assert "F2F_VIA" in logic.layers and "F2F_VIA" in macro.layers
+        assert set(logic.layers) & set(macro.layers) == {"F2F_VIA"}
+        assert logic.std_cells > 0
+        assert macro.std_cells == 0
+        assert logic.wirelength == pytest.approx(100.0)
+        assert macro.wirelength == pytest.approx(50.0)
+        assert set(macro.macros) == projection.macro_die_instances

@@ -1,0 +1,74 @@
+"""The standalone RC-tree Elmore calculator against hand mathematics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extract.elmore import RCTree
+
+
+class TestRCTree:
+    def test_single_segment(self):
+        tree = RCTree("drv")
+        tree.add_branch("drv", "sink", resistance=1000.0, capacitance=10.0)
+        tree.add_cap("sink", 2.0)
+        # R * (C/2 + Cpin) = 1000 * 7 fF = 7 ps.
+        assert tree.delay_to("sink") == pytest.approx(7.0)
+
+    def test_driver_resistance_sees_everything(self):
+        tree = RCTree("drv")
+        tree.add_branch("drv", "sink", 1000.0, 10.0)
+        tree.add_cap("sink", 2.0)
+        base = tree.delay_to("sink")
+        with_driver = tree.delay_to("sink", driver_resistance=500.0)
+        assert with_driver == pytest.approx(base + 0.5 * 12.0)
+
+    def test_branching_tree(self):
+        tree = RCTree("drv")
+        tree.add_branch("drv", "mid", 100.0, 20.0)
+        tree.add_branch("mid", "a", 200.0, 10.0)
+        tree.add_branch("mid", "b", 300.0, 10.0)
+        tree.add_cap("a", 1.0)
+        tree.add_cap("b", 1.0)
+        # delay(a) = 100*(10 + 5+5 + 1+1... ) — downstream of mid:
+        # mid cap 10+5+5=20, a: 5+1, b: 5+1 -> downstream(mid)=32
+        d_a = 100.0 * 32.0 * 1e-3 + 200.0 * 6.0 * 1e-3
+        assert tree.delay_to("a") == pytest.approx(d_a)
+        # The heavier branch resistance makes b slower than a.
+        assert tree.delay_to("b") > tree.delay_to("a")
+
+    def test_total_capacitance(self):
+        tree = RCTree("drv")
+        tree.add_branch("drv", "x", 10.0, 8.0)
+        tree.add_cap("x", 2.0)
+        assert tree.total_capacitance() == pytest.approx(10.0)
+
+    def test_errors(self):
+        tree = RCTree("drv")
+        with pytest.raises(KeyError):
+            tree.add_branch("ghost", "x", 1.0)
+        tree.add_branch("drv", "x", 1.0)
+        with pytest.raises(ValueError):
+            tree.add_branch("drv", "x", 1.0)
+        with pytest.raises(KeyError):
+            tree.delay_to("ghost")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.floats(1, 1000), st.floats(0.1, 50)),
+                    min_size=1, max_size=10))
+    def test_chain_monotone(self, segments):
+        """Delay along a chain is strictly non-decreasing."""
+        tree = RCTree("n0")
+        for k, (r, c) in enumerate(segments):
+            tree.add_branch(f"n{k}", f"n{k + 1}", r, c)
+        delays = [tree.delay_to(f"n{k}") for k in range(len(segments) + 1)]
+        for before, after in zip(delays, delays[1:]):
+            assert after >= before
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(1, 2000), st.floats(0.5, 100))
+    def test_matches_lumped_bound(self, r, c):
+        """Elmore of one segment is between RC/2 and RC (classic bounds)."""
+        tree = RCTree("a")
+        tree.add_branch("a", "b", r, c)
+        delay = tree.delay_to("b")
+        assert r * c / 2.0 * 1e-3 - 1e-9 <= delay <= r * c * 1e-3 + 1e-9

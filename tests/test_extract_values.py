@@ -1,0 +1,96 @@
+"""Extraction against hand-computed Elmore values on crafted nets."""
+
+import pytest
+
+from repro.extract.rc import extract_net
+from repro.geom import Point
+from repro.netlist.core import Netlist
+from repro.route.global_route import RoutedEdge, RoutedNet
+from repro.route.layer_assign import AssignedEdge, AssignedRun
+from repro.tech.corners import Corner
+
+TYP = Corner("typ", 1.0, 1.0, 1.0, 1.0, 0.9)
+SLOW = Corner("slow", 1.2, 1.1, 1.05, 2.0, 0.81)
+
+
+def _two_pin_setup(library):
+    """driver INV_X1 -> sink INV_X1 through one 100 um edge."""
+    nl = Netlist("t")
+    drv = nl.add_instance("drv", library.cell("INV_X1"))
+    snk = nl.add_instance("snk", library.cell("INV_X1"))
+    net = nl.add_net("n")
+    nl.connect(net, drv, "Y")
+    nl.connect(net, snk, "A")
+    routed = RoutedNet(
+        net=net,
+        points=[Point(0, 0), Point(100, 0)],
+        driver_index=0,
+        edges=[RoutedEdge(0, 1, [(0, 0), (1, 0)], 100.0)],
+    )
+    assigned = AssignedEdge(routed.edges[0])
+    assigned.resistance = 200.0   # ohm
+    assigned.capacitance = 20.0   # fF
+    return nl, routed, [assigned]
+
+
+class TestElmoreHandValues:
+    def test_two_pin_elmore(self, library):
+        nl, routed, assigned = _two_pin_setup(library)
+        rc = extract_net(routed, assigned, TYP)
+        sink_cap = library.cell("INV_X1").pin("A").capacitance
+        # Elmore = R * (C/2 + C_pin) in ps (ohm*fF*1e-3).
+        expected = 200.0 * (10.0 + sink_cap) * 1e-3
+        assert rc.elmore[1] == pytest.approx(expected, rel=1e-9)
+        assert rc.wire_cap == pytest.approx(20.0)
+        assert rc.driver_load == pytest.approx(20.0 + sink_cap)
+        assert rc.sink_wirelength[1] == pytest.approx(100.0)
+        assert rc.path_r[1] == pytest.approx(200.0)
+        assert rc.path_c[1] == pytest.approx(20.0)
+
+    def test_corner_derates(self, library):
+        nl, routed, assigned = _two_pin_setup(library)
+        typ = extract_net(routed, assigned, TYP)
+        slow = extract_net(routed, assigned, SLOW)
+        assert slow.wire_cap == pytest.approx(typ.wire_cap * 1.05)
+        assert slow.path_r[1] == pytest.approx(typ.path_r[1] * 1.1)
+
+    def test_three_pin_tree(self, library):
+        """driver -> A (50 um) and A -> B (50 um): B's elmore sees the
+        full upstream resistance times downstream capacitance."""
+        nl = Netlist("t")
+        drv = nl.add_instance("drv", library.cell("INV_X1"))
+        s1 = nl.add_instance("s1", library.cell("INV_X1"))
+        s2 = nl.add_instance("s2", library.cell("INV_X1"))
+        net = nl.add_net("n")
+        nl.connect(net, drv, "Y")
+        nl.connect(net, s1, "A")
+        nl.connect(net, s2, "A")
+        routed = RoutedNet(
+            net=net,
+            points=[Point(0, 0), Point(50, 0), Point(100, 0)],
+            driver_index=0,
+            edges=[
+                RoutedEdge(0, 1, [(0, 0)], 50.0),
+                RoutedEdge(1, 2, [(0, 0)], 50.0),
+            ],
+        )
+        e01 = AssignedEdge(routed.edges[0])
+        e01.resistance, e01.capacitance = 100.0, 10.0
+        e12 = AssignedEdge(routed.edges[1])
+        e12.resistance, e12.capacitance = 100.0, 10.0
+        rc = extract_net(routed, [e01, e12], TYP)
+        pin = library.cell("INV_X1").pin("A").capacitance
+        # downstream of edge01 beyond its own C: pin(s1) + C12 + pin(s2)
+        d1 = 100.0 * (5.0 + pin + 10.0 + pin) * 1e-3
+        d2 = d1 + 100.0 * (5.0 + pin) * 1e-3
+        assert rc.elmore[1] == pytest.approx(d1, rel=1e-9)
+        assert rc.elmore[2] == pytest.approx(d2, rel=1e-9)
+        assert rc.sink_wirelength[2] == pytest.approx(100.0)
+        # Direct distance equals routed length on a straight line.
+        assert rc.sink_direct[2] == pytest.approx(100.0)
+
+    def test_f2f_count_propagates(self, library):
+        nl, routed, assigned = _two_pin_setup(library)
+        assigned[0].f2f_count = 3
+        rc = extract_net(routed, assigned, TYP)
+        assert rc.f2f_count == 3

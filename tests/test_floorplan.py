@@ -1,0 +1,190 @@
+"""Floorplans, skyline packing, macro placement styles, IO pins."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan.floorplan import Blockage, Floorplan
+from repro.floorplan.macro_placer import (
+    MacroPlacerOptions,
+    balanced_macro_split,
+    footprint_2d,
+    footprint_3d,
+    place_macros_2d,
+    place_macros_mol,
+)
+from repro.floorplan.pins import place_ports, validate_alignment
+from repro.floorplan.skyline import SkylinePacker
+from repro.geom import Point, Rect
+from repro.netlist.openpiton import LOGIC_DIE, MACRO_DIE
+
+
+class TestFloorplan:
+    def test_macro_must_fit_outline(self):
+        fp = Floorplan("t", Rect(0, 0, 100, 100))
+        with pytest.raises(ValueError):
+            fp.place_macro("m", Rect(50, 50, 150, 150))
+
+    def test_duplicate_macro_rejected(self):
+        fp = Floorplan("t", Rect(0, 0, 100, 100))
+        fp.place_macro("m", Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            fp.place_macro("m", Rect(20, 20, 30, 30))
+
+    def test_blockage_density_bounds(self):
+        with pytest.raises(ValueError):
+            Blockage(Rect(0, 0, 1, 1), density=0.0)
+        with pytest.raises(ValueError):
+            Blockage(Rect(0, 0, 1, 1), density=1.5)
+
+    def test_free_area_accounting(self):
+        fp = Floorplan("t", Rect(0, 0, 100, 100), utilization=0.5)
+        fp.macro_halo = 0.0
+        fp.place_macro("m", Rect(0, 0, 50, 100))
+        assert fp.blocked_area() == pytest.approx(5000.0)
+        assert fp.free_area() == pytest.approx(5000.0)
+        assert fp.cell_capacity() == pytest.approx(2500.0)
+
+    def test_partial_blockage_counts_fractionally(self):
+        fp = Floorplan("t", Rect(0, 0, 100, 100))
+        fp.add_blockage(Rect(0, 0, 100, 100), density=0.5)
+        assert fp.blocked_area() == pytest.approx(5000.0)
+
+    def test_density_at(self):
+        fp = Floorplan("t", Rect(0, 0, 100, 100))
+        fp.add_blockage(Rect(0, 0, 50, 100), density=1.0)
+        assert fp.density_at(Rect(0, 0, 100, 100)) == pytest.approx(0.5)
+        assert fp.density_at(Rect(60, 0, 100, 100)) == pytest.approx(0.0)
+
+
+class TestSkyline:
+    def test_simple_fill(self):
+        packer = SkylinePacker(Rect(0, 0, 10, 10))
+        a = packer.try_place(5, 5)
+        b = packer.try_place(5, 5)
+        c = packer.try_place(10, 5)
+        assert a and b and c
+        assert not a.overlaps(b) and not a.overlaps(c) and not b.overlaps(c)
+
+    def test_rejects_when_full(self):
+        packer = SkylinePacker(Rect(0, 0, 10, 10))
+        assert packer.try_place(10, 10) is not None
+        assert packer.try_place(1, 1) is None
+
+    def test_from_top_mirrors(self):
+        packer = SkylinePacker(Rect(0, 0, 10, 10), from_top=True)
+        rect = packer.try_place(4, 4)
+        assert rect.yhi == pytest.approx(10.0)
+
+    def test_invalid_dimensions(self):
+        packer = SkylinePacker(Rect(0, 0, 10, 10))
+        with pytest.raises(ValueError):
+            packer.try_place(0, 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0.5, 4.0), st.floats(0.5, 4.0)),
+                    min_size=1, max_size=25))
+    def test_no_overlaps_and_containment(self, sizes):
+        region = Rect(0, 0, 12, 12)
+        packer = SkylinePacker(region, spacing=0.1)
+        placed = []
+        for w, h in sizes:
+            rect = packer.try_place(w, h)
+            if rect is None:
+                continue
+            assert region.contains_rect(rect, tol=1e-6)
+            for other in placed:
+                assert not rect.overlaps(other)
+            placed.append(rect)
+
+
+def _no_macro_overlaps(floorplan):
+    rects = list(floorplan.macro_placements.values())
+    for i, a in enumerate(rects):
+        for b in rects[i + 1:]:
+            assert not a.overlaps(b), f"{a} overlaps {b}"
+
+
+class TestMacroPlacement:
+    def test_2d_no_overlaps(self, tiny_tile):
+        fp = place_macros_2d(tiny_tile)
+        _no_macro_overlaps(fp)
+        assert len(fp.macro_placements) == len(tiny_tile.netlist.macros())
+
+    def test_2d_feeds_cells(self, tiny_tile):
+        fp = place_macros_2d(tiny_tile)
+        assert fp.cell_capacity() >= tiny_tile.netlist.std_cell_area()
+
+    def test_footprint_ratio_near_two(self, tiny_tile):
+        fp2 = footprint_2d(tiny_tile.netlist)
+        fp3 = footprint_3d(tiny_tile.netlist)
+        assert fp2.area / fp3.area == pytest.approx(2.0, rel=1e-6)
+
+    def test_mol_dies_share_outline(self, tiny_tile):
+        macro_fp, logic_fp = place_macros_mol(tiny_tile)
+        assert macro_fp.outline.area == pytest.approx(logic_fp.outline.area)
+        _no_macro_overlaps(macro_fp)
+        _no_macro_overlaps(logic_fp)
+
+    def test_mol_partitions_all_macros(self, tiny_tile):
+        macro_fp, logic_fp = place_macros_mol(tiny_tile)
+        placed = set(macro_fp.macro_placements) | set(logic_fp.macro_placements)
+        assert placed == {m.name for m in tiny_tile.netlist.macros()}
+        assert not (
+            set(macro_fp.macro_placements) & set(logic_fp.macro_placements)
+        )
+
+    def test_mol_macro_die_has_no_logic_preference_macros(self, tiny_tile):
+        macro_fp, _logic_fp = place_macros_mol(tiny_tile)
+        logic_preferred = {
+            m.name for m in tiny_tile.macros_for_die(LOGIC_DIE)
+        }
+        assert not (set(macro_fp.macro_placements) & logic_preferred)
+
+    def test_balanced_split_overlap_in_z(self, tiny_tile):
+        die_a, die_b = balanced_macro_split(tiny_tile)
+        _no_macro_overlaps(die_a)
+        _no_macro_overlaps(die_b)
+        # Paired identical banks share (x, y) across dies: count overlaps.
+        overlapping = 0
+        for ra in die_a.macro_placements.values():
+            for rb in die_b.macro_placements.values():
+                if ra.overlaps(rb):
+                    overlapping += 1
+        assert overlapping > 0  # z-overlap is the point of BF
+
+    def test_balanced_area_balance(self, tiny_tile):
+        die_a, die_b = balanced_macro_split(tiny_tile)
+        area = lambda fp: sum(r.area for r in fp.macro_placements.values())
+        ratio = area(die_a) / area(die_b)
+        assert 0.6 < ratio < 1.7
+
+
+class TestPins:
+    def test_ports_on_their_edges(self, tiny_tile):
+        outline = Rect(0, 0, 500, 500)
+        locations = place_ports(tiny_tile.netlist, outline)
+        for port in tiny_tile.netlist.ports:
+            point = locations[port.name]
+            constraint = port.constraint
+            if constraint is None:
+                continue
+            if constraint.edge == "N":
+                assert point.y == pytest.approx(500)
+            elif constraint.edge == "S":
+                assert point.y == pytest.approx(0)
+            elif constraint.edge == "E":
+                assert point.x == pytest.approx(500)
+            else:
+                assert point.x == pytest.approx(0)
+
+    def test_alignment_holds_by_construction(self, tiny_tile):
+        outline = Rect(0, 0, 321, 321)
+        locations = place_ports(tiny_tile.netlist, outline)
+        assert validate_alignment(tiny_tile.netlist, locations) == []
+
+    def test_misalignment_detected(self, tiny_tile):
+        outline = Rect(0, 0, 100, 100)
+        locations = place_ports(tiny_tile.netlist, outline)
+        locations["noc1_N_out[0]"] = Point(3.21, 100.0)
+        violations = validate_alignment(tiny_tile.netlist, locations)
+        assert any("noc1_N_out[0]" in v for v in violations)

@@ -1,0 +1,143 @@
+"""Geometry primitives: rects, HPWL, packing helpers (+ properties)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geom import (
+    Point,
+    Rect,
+    bounding_box_of_points,
+    hpwl,
+    pack_rows,
+    total_overlap_area,
+)
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+sizes = st.floats(0.1, 1e3)
+
+
+def rects():
+    return st.builds(
+        lambda x, y, w, h: Rect(x, y, x + w, y + h), coords, coords, sizes, sizes
+    )
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_manhattan(self):
+        assert Point(1, 2).manhattan_to(Point(4, -2)) == 7.0
+
+    def test_translate_scale(self):
+        p = Point(1.0, 2.0).translated(1.0, -1.0).scaled(2.0)
+        assert (p.x, p.y) == (4.0, 2.0)
+
+
+class TestRect:
+    def test_invalid_extents_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+
+    def test_degenerate_allowed(self):
+        r = Rect(0, 0, 0, 5)
+        assert r.area == 0.0
+
+    def test_measures(self):
+        r = Rect(1, 2, 4, 6)
+        assert r.width == 3 and r.height == 4
+        assert r.area == 12
+        assert r.half_perimeter == 7
+        assert r.center == Point(2.5, 4.0)
+
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(2, 2))
+        assert not r.contains_point(Point(2.01, 2))
+
+    def test_overlap_touching_edges_do_not_count(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(1, 0, 2, 1))
+
+    def test_intersection(self):
+        r = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert r == Rect(2, 2, 4, 4)
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_inflated(self):
+        assert Rect(1, 1, 2, 2).inflated(1) == Rect(0, 0, 3, 3)
+
+    def test_clamped_into(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(9, 9, 12, 12).clamped_into(outer)
+        assert outer.contains_rect(inner)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 20, 5).clamped_into(outer)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert r == Rect(3, 4, 7, 6)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 0, 1, 1), Rect(3, -1, 4, 2)])
+        assert r == Rect(0, -1, 4, 2)
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    @given(rects(), rects())
+    def test_overlap_area_symmetric(self, a, b):
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @given(rects(), rects())
+    def test_intersection_inside_both(self, a, b):
+        region = a.intersection(b)
+        if region is not None:
+            assert a.contains_rect(region, tol=1e-6)
+            assert b.contains_rect(region, tol=1e-6)
+
+    @given(rects(), st.floats(0, 3))
+    def test_scaling_scales_area_quadratically(self, r, f):
+        assert r.scaled(f).area == pytest.approx(r.area * f * f, rel=1e-6, abs=1e-9)
+
+
+class TestHpwl:
+    def test_fewer_than_two_points(self):
+        assert hpwl([]) == 0.0
+        assert hpwl([Point(1, 1)]) == 0.0
+
+    def test_two_points(self):
+        assert hpwl([Point(0, 0), Point(3, 4)]) == 7.0
+
+    @given(st.lists(st.builds(Point, coords, coords), min_size=2, max_size=12))
+    def test_hpwl_at_least_pairwise_manhattan_of_extremes(self, points):
+        value = hpwl(points)
+        for p in points:
+            for q in points:
+                assert value >= p.manhattan_to(q) - 1e-6
+
+    @given(st.lists(st.builds(Point, coords, coords), min_size=2, max_size=8),
+           st.floats(0.1, 5.0))
+    def test_hpwl_scales_linearly(self, points, f):
+        scaled = [p.scaled(f) for p in points]
+        assert hpwl(scaled) == pytest.approx(hpwl(points) * f, rel=1e-6)
+
+
+class TestPacking:
+    def test_pack_rows_fills_left_to_right(self):
+        outline = Rect(0, 0, 10, 10)
+        rects = list(pack_rows([4, 4, 4], 2, outline))
+        assert rects[0].xlo == 0 and rects[1].xlo == 4
+        assert rects[2].ylo == 2  # wrapped to the next row
+
+    def test_pack_rows_overflow(self):
+        with pytest.raises(ValueError):
+            list(pack_rows([5] * 100, 5, Rect(0, 0, 10, 10)))
+
+    def test_total_overlap_area(self):
+        rects = [Rect(0, 0, 2, 2), Rect(1, 0, 3, 2), Rect(10, 10, 11, 11)]
+        assert total_overlap_area(rects) == pytest.approx(2.0)
+
+    def test_bounding_box_of_points(self):
+        box = bounding_box_of_points([Point(0, 1), Point(2, -1)])
+        assert box == Rect(0, -1, 2, 1)

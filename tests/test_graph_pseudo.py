@@ -1,0 +1,128 @@
+"""Timing-graph construction details and the S2D/C2D pseudo machinery."""
+
+import math
+
+import pytest
+
+from repro.cells.stdcell import PinDirection
+from repro.flows.pseudo_common import (
+    edit_top_die_macros,
+    pseudo_floorplan,
+    restore_std_cells,
+    shrink_std_cells,
+)
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.macro_placer import place_macros_mol
+from repro.geom import Rect
+from repro.netlist.core import Netlist
+from repro.netlist.openpiton import build_tile, small_cache_config
+from repro.timing.graph import TimingGraph
+
+
+class TestTimingGraph:
+    def test_launch_kinds(self, mini_with_macro):
+        graph = TimingGraph(mini_with_macro)
+        kinds = {}
+        for launch in graph.launches.values():
+            kinds.setdefault(launch.kind, 0)
+            kinds[launch.kind] += 1
+        assert kinds.get("flop", 0) >= 3   # ff1, ff2, ff3
+        assert kinds.get("macro", 0) >= 1  # mem DOUT
+        assert kinds.get("port", 0) >= 1   # din
+
+    def test_arcs_track_cell_inputs(self, mini_netlist):
+        graph = TimingGraph(mini_netlist)
+        n2 = mini_netlist.net("n2")
+        arc = graph.arcs[n2.id]
+        assert arc.instance.name == "nand"
+        input_nets = {net.name for net, _sink in arc.inputs}
+        assert input_nets == {"n1", "q1"}
+
+    def test_endpoints_cover_flops_macros_ports(self, mini_with_macro):
+        graph = TimingGraph(mini_with_macro)
+        kinds = {e.kind for e in graph.endpoints}
+        assert kinds == {"flop", "macro", "port"}
+
+    def test_clock_nets_excluded(self, mini_netlist):
+        graph = TimingGraph(mini_netlist)
+        clk = mini_netlist.net("clk")
+        assert clk.id not in graph.launches
+        assert clk.id not in graph.arcs
+
+    def test_order_is_topological(self, mini_netlist):
+        graph = TimingGraph(mini_netlist)
+        seen = set()
+        for net in graph.order:
+            arc = graph.arcs.get(net.id)
+            if arc is not None:
+                for in_net, _sink in arc.inputs:
+                    assert in_net.id in seen or in_net.id in graph.launches
+            seen.add(net.id)
+
+    def test_combinational_loop_detected(self, library):
+        nl = Netlist("loop")
+        a = nl.add_instance("a", library.cell("INV_X1"))
+        b = nl.add_instance("b", library.cell("INV_X1"))
+        n1 = nl.add_net("n1")
+        n2 = nl.add_net("n2")
+        nl.connect(n1, a, "Y")
+        nl.connect(n1, b, "A")
+        nl.connect(n2, b, "Y")
+        nl.connect(n2, a, "A")
+        with pytest.raises(ValueError, match="loop"):
+            TimingGraph(nl)
+
+
+class TestPseudoMachinery:
+    def test_shrink_and_restore(self, tiny_tile):
+        tile = build_tile(small_cache_config(), scale=0.02)
+        netlist = tile.netlist
+        before_area = netlist.std_cell_area()
+        originals = shrink_std_cells(netlist, 1.0 / math.sqrt(2.0))
+        assert netlist.std_cell_area() == pytest.approx(
+            before_area / 2.0, rel=1e-6
+        )
+        # Timing is untouched by the geometric shrink.
+        inv = next(
+            i for i in netlist.std_cells()
+            if i.master.name.startswith("INV")
+        )
+        assert inv.master.drive_resistance == originals[
+            inv.name
+        ].drive_resistance
+        restore_std_cells(netlist, originals)
+        assert netlist.std_cell_area() == pytest.approx(before_area)
+
+    def test_pseudo_floorplan_densities(self, tiny_tile):
+        macro_fp, logic_fp = place_macros_mol(tiny_tile)
+        pseudo = pseudo_floorplan(
+            "p", logic_fp.outline, logic_fp, macro_fp, 0.7
+        )
+        # Every macro became a 50 % blockage.
+        assert all(b.density == pytest.approx(0.5) for b in pseudo.blockages)
+        assert len(pseudo.macro_placements) == len(
+            tiny_tile.netlist.macros()
+        )
+
+    def test_pseudo_floorplan_transform(self, tiny_tile):
+        macro_fp, logic_fp = place_macros_mol(tiny_tile)
+        inflated = pseudo_floorplan(
+            "p2", logic_fp.outline, logic_fp, macro_fp, 0.7,
+            transform=math.sqrt(2.0),
+        )
+        assert inflated.outline.area == pytest.approx(
+            logic_fp.outline.area * 2.0, rel=1e-6
+        )
+        name = next(iter(logic_fp.macro_placements))
+        assert inflated.macro_placements[name].area == pytest.approx(
+            logic_fp.macro_placements[name].area * 2.0, rel=1e-6
+        )
+
+    def test_edit_top_die_macros(self):
+        tile = build_tile(small_cache_config(), scale=0.02)
+        macro_fp, _logic_fp = place_macros_mol(tile)
+        names = set(macro_fp.macro_placements)
+        edit_top_die_macros(tile, names)
+        for name in names:
+            master = tile.netlist.instance(name).master
+            assert all(p.layer.endswith("_MD") for p in master.pins)

@@ -1,0 +1,127 @@
+"""File formats: LEF-like, techfile, DEF-like dumps."""
+
+import pytest
+
+from repro.io.def_io import write_def, write_density_map, write_floorplan_map
+from repro.io.lef import edit_lef_for_macro_die, parse_lef, write_lef
+from repro.io.techfile import parse_techfile, write_techfile
+from repro.tech.beol import merge_beol
+from repro.tech.presets import hk28, hk28_stack
+from repro.tech.technology import F2FViaSpec
+
+
+class TestLef:
+    def test_roundtrip(self, sram):
+        back = parse_lef(write_lef(sram))
+        assert back.name == sram.name
+        assert back.width == pytest.approx(sram.width)
+        assert back.height == pytest.approx(sram.height)
+        assert len(back.pins) == len(sram.pins)
+        assert back.is_memory == sram.is_memory
+        assert back.setup_time == pytest.approx(sram.setup_time, abs=1e-3)
+        assert back.access_delay == pytest.approx(sram.access_delay, abs=1e-3)
+        for a, b in zip(sram.pins, back.pins):
+            assert a.name == b.name
+            assert a.layer == b.layer
+            assert a.offset.x == pytest.approx(b.offset.x, abs=1e-5)
+            assert a.is_clock == b.is_clock
+
+    def test_substrate_roundtrip(self, sram):
+        shrunk = sram.with_shrunk_substrate(0.2, 1.2)
+        back = parse_lef(write_lef(shrunk))
+        assert back.substrate is not None
+        assert back.substrate_area == pytest.approx(shrunk.substrate_area)
+
+    def test_scripted_edit_matches_in_memory_edit(self, sram):
+        """The text-level edit and the object-level edit must agree —
+        this is the paper's 'simple scripted modifications' claim."""
+        edited_text = edit_lef_for_macro_die(
+            write_lef(sram), filler_width=0.2, row_height=1.2
+        )
+        from_text = parse_lef(edited_text)
+        from_object = sram.with_layer_suffix("_MD").with_shrunk_substrate(0.2, 1.2)
+        assert from_text.name == from_object.name
+        assert [p.layer for p in from_text.pins] == [
+            p.layer for p in from_object.pins
+        ]
+        assert from_text.obstruction_layers() == from_object.obstruction_layers()
+        assert from_text.substrate_area == pytest.approx(
+            from_object.substrate_area
+        )
+        # Pin geometry untouched by the edit.
+        for a, b in zip(sram.pins, from_text.pins):
+            assert a.offset.x == pytest.approx(b.offset.x, abs=1e-5)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_lef("not a macro at all\n")
+
+
+class TestTechfile:
+    def test_roundtrip_plain(self, tech):
+        corner = tech.corners.typical
+        name, cname, stack = parse_techfile(
+            write_techfile("hk28", tech.stack, corner)
+        )
+        assert name == "hk28" and cname == corner.name
+        assert [l.name for l in stack.layers] == [
+            l.name for l in tech.stack.layers
+        ]
+
+    def test_corner_derates_applied(self, tech):
+        slow = tech.corners.slowest
+        _n, _c, stack = parse_techfile(
+            write_techfile("hk28", tech.stack, slow)
+        )
+        raw = tech.stack.routing_layers[0]
+        derated = stack.routing_layers[0]
+        assert derated.r_per_um == pytest.approx(
+            raw.r_per_um * slow.wire_r_derate, rel=1e-3
+        )
+
+    def test_merged_stack_roundtrip(self, tech):
+        merged = merge_beol(tech.stack, hk28_stack(4), F2FViaSpec())
+        _n, _c, stack = parse_techfile(
+            write_techfile("combined", merged.stack, tech.corners.typical)
+        )
+        assert "F2F_VIA" in {l.name for l in stack.cut_layers}
+        assert stack.num_routing_layers == 10
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_techfile("LAYER M1 ROUTING ...\n")
+
+
+class TestDefIO:
+    def _placed(self, tiny_tile):
+        from repro.floorplan.macro_placer import place_macros_2d
+        from repro.floorplan.pins import place_ports
+        from repro.place.global_place import Placement
+        fp = place_macros_2d(tiny_tile)
+        ports = place_ports(tiny_tile.netlist, fp.outline)
+        return Placement(tiny_tile.netlist, fp, ports)
+
+    def test_write_def_structure(self, tiny_tile):
+        placement = self._placed(tiny_tile)
+        text = write_def("t", placement)
+        assert text.startswith("DESIGN t")
+        assert f"COMPONENTS {tiny_tile.netlist.num_instances}" in text
+        assert "END DESIGN" in text
+        # Macros flagged fixed.
+        macro = tiny_tile.netlist.macros()[0]
+        assert f"MACRO {macro.name}" in text
+
+    def test_density_map_dimensions(self, tiny_tile):
+        placement = self._placed(tiny_tile)
+        text = write_density_map(placement, rows=10, cols=20)
+        lines = text.strip().splitlines()
+        assert len(lines) == 12  # border + 10 rows + border
+        assert all(len(line) == 22 for line in lines)
+        assert "M" in text  # macros visible
+
+    def test_floorplan_map(self, tiny_tile):
+        from repro.floorplan.macro_placer import place_macros_2d
+        fp = place_macros_2d(tiny_tile)
+        text = write_floorplan_map(fp, rows=8, cols=16)
+        assert "M" in text
+        assert len(text.strip().splitlines()) == 10

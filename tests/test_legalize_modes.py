@@ -1,0 +1,99 @@
+"""Legalizer behaviors that carry the S2D/C2D story: partial blockages,
+capacity accumulation, forced overflow placement."""
+
+import numpy as np
+import pytest
+
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.pins import place_ports
+from repro.geom import Rect
+from repro.netlist.core import Netlist
+from repro.place.global_place import Placement
+from repro.place.legalize import legalize
+
+
+def _netlist_with_cells(library, count, master="INV_X1"):
+    nl = Netlist("cells")
+    drv = nl.add_instance("drv", library.cell("BUF_X1"))
+    net = nl.add_net("n0")
+    nl.connect(net, drv, "Y")
+    for i in range(count):
+        inst = nl.add_instance(f"c{i}", library.cell(master))
+        nl.connect(net, inst, "A")
+    return nl
+
+
+def _placement(nl, floorplan):
+    return Placement(nl, floorplan, {})
+
+
+class TestPartialBlockages:
+    def test_half_density_accepts_half_the_cells(self, library):
+        fp = Floorplan("t", Rect(0, 0, 40, 2.4), utilization=1.0)
+        fp.add_blockage(Rect(0, 0, 40, 2.4), density=0.5)
+        nl = _netlist_with_cells(library, 100)
+        placement = _placement(nl, fp)
+        placement.x[:] = 20.0
+        placement.y[:] = 1.2
+        result = legalize(placement, 1.2)
+        # Interval capacity is 50 % of two 40 um rows = 40 um of cells.
+        width = library.cell("INV_X1").width
+        capacity_cells = int(40.0 / width)
+        placed_in_rows = np.count_nonzero(
+            result.displacement[placement.movable] >= 0
+        )
+        assert result.failures == 0
+        # Some cells must have been force-placed beyond capacity.
+        assert result.forced >= 100 - capacity_cells - 5
+
+    def test_stacked_partials_block_fully(self, library):
+        fp = Floorplan("t", Rect(0, 0, 40, 2.4), utilization=1.0)
+        fp.add_blockage(Rect(0, 0, 40, 2.4), density=0.5)
+        fp.add_blockage(Rect(0, 0, 40, 2.4), density=0.5)
+        nl = _netlist_with_cells(library, 10)
+        placement = _placement(nl, fp)
+        placement.x[:] = 20.0
+        placement.y[:] = 1.2
+        result = legalize(placement, 1.2)
+        # Everything forced: there is no legal capacity anywhere.
+        assert result.forced == nl.num_instances
+
+    def test_ignore_partials_when_disabled(self, library):
+        fp = Floorplan("t", Rect(0, 0, 40, 2.4), utilization=1.0)
+        fp.add_blockage(Rect(0, 0, 40, 2.4), density=0.5)
+        nl = _netlist_with_cells(library, 20)
+        placement = _placement(nl, fp)
+        placement.x[:] = 20.0
+        placement.y[:] = 1.2
+        strict = legalize(placement, 1.2, honor_partial=True)
+        loose = legalize(placement, 1.2, honor_partial=False)
+        assert loose.forced <= strict.forced
+
+
+class TestForcedPlacement:
+    def test_forced_cells_stay_inside_rows(self, library):
+        fp = Floorplan("t", Rect(0, 0, 20, 4.8), utilization=1.0)
+        # One hard blockage covering most of the die.
+        fp.add_blockage(Rect(0, 0, 20, 3.6), density=1.0)
+        nl = _netlist_with_cells(library, 200)
+        placement = _placement(nl, fp)
+        placement.x[:] = 10.0
+        placement.y[:] = 1.0
+        result = legalize(placement, 1.2)
+        pl = result.placement
+        m = pl.movable
+        assert (pl.x[m] >= 0).all() and (pl.x[m] <= 20).all()
+        assert result.forced > 0
+        # Displacement recorded for the forced cells.
+        assert result.displacement.max() > 0
+
+    def test_displacement_zero_when_already_legal(self, library):
+        fp = Floorplan("t", Rect(0, 0, 100, 12), utilization=1.0)
+        nl = _netlist_with_cells(library, 5)
+        placement = _placement(nl, fp)
+        for k, inst in enumerate(nl.instances):
+            placement.x[inst.id] = 5.0 + 10.0 * k
+            placement.y[inst.id] = 0.6
+        result = legalize(placement, 1.2)
+        assert result.failures == 0
+        assert result.mean_displacement < 10.0

@@ -1,0 +1,233 @@
+"""Routing: Steiner decomposition, grid, global router, layer assignment."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan.macro_placer import place_macros_2d
+from repro.floorplan.pins import place_ports
+from repro.geom import Point, Rect
+from repro.place.global_place import global_place
+from repro.place.legalize import legalize
+from repro.route.global_route import GlobalRouter, RouterOptions
+from repro.route.grid import RoutingGrid, RoutingGridOptions
+from repro.route.layer_assign import LayerAssigner
+from repro.route.steiner import decompose_net, manhattan, mst_edges, tree_length
+from repro.tech.beol import merge_beol
+from repro.tech.presets import hk28, hk28_stack
+
+points_strategy = st.lists(
+    st.builds(Point, st.floats(0, 100), st.floats(0, 100)),
+    min_size=2, max_size=12,
+)
+
+
+class TestSteiner:
+    def test_two_points(self):
+        edges = mst_edges([Point(0, 0), Point(3, 4)])
+        assert edges == [(0, 1)]
+
+    def test_tree_shape(self):
+        points = [Point(0, 0), Point(10, 0), Point(0, 10), Point(10, 10)]
+        edges = mst_edges(points)
+        assert len(edges) == 3
+
+    @given(points_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_mst_is_spanning_tree(self, points):
+        edges = decompose_net(points, driver_index=0)
+        assert len(edges) == len(points) - 1
+        reached = {0}
+        for parent, child in edges:
+            assert parent in reached  # rooted at the driver
+            reached.add(child)
+        assert reached == set(range(len(points)))
+
+    @given(points_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_mst_no_longer_than_star(self, points):
+        edges = decompose_net(points, driver_index=0)
+        mst_len = tree_length(points, edges)
+        star_len = sum(manhattan(points[0], p) for p in points[1:])
+        assert mst_len <= star_len + 1e-6
+
+
+@pytest.fixture(scope="module")
+def routed_tile(tiny_tile, tech):
+    fp = place_macros_2d(tiny_tile)
+    ports = place_ports(tiny_tile.netlist, fp.outline)
+    placement = legalize(
+        global_place(tiny_tile.netlist, fp, ports), tech.row_height
+    ).placement
+    grid = RoutingGrid(tech.stack, fp.outline)
+    for inst in tiny_tile.netlist.macros():
+        rect = fp.macro_placements[inst.name]
+        for obs in inst.master.obstructions:
+            grid.block_layer(obs.layer, obs.rect.translated(rect.xlo, rect.ylo))
+        grid.block_substrate(rect)
+    router = GlobalRouter(tiny_tile.netlist, placement, grid)
+    routed = router.run()
+    return fp, placement, grid, router, routed
+
+
+class TestGrid:
+    def test_capacity_positive_everywhere_initially(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        assert (grid.cap_h > 0).all() and (grid.cap_v > 0).all()
+
+    def test_block_layer_removes_capacity(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        m3 = grid.stack.routing_index("M3")
+        before = grid.layer_capacity[m3].sum()
+        grid.block_layer("M3", Rect(0, 0, 250, 500))
+        after = grid.layer_capacity[m3].sum()
+        assert after < 0.6 * before
+
+    def test_block_unknown_layer_ignored(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        grid.block_layer("M3_MD", Rect(0, 0, 100, 100))  # not in 2D stack
+
+    def test_pdn_derate_applied(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        m6 = grid.stack.routing_index("M6")
+        m5 = grid.stack.routing_index("M5")
+        expected_ratio = (
+            (grid.gcell / 0.4 * 0.5) / (grid.gcell / 0.2 * 0.75)
+        )
+        assert grid.layer_capacity[m6, 0, 0] / grid.layer_capacity[
+            m5, 0, 0
+        ] == pytest.approx(expected_ratio, rel=1e-6)
+
+    def test_f2f_supply(self, tech):
+        merged = merge_beol(tech.stack, hk28_stack(4), tech.f2f)
+        grid = RoutingGrid(
+            merged.stack, Rect(0, 0, 500, 500), merged=merged, f2f=tech.f2f
+        )
+        assert grid.has_f2f
+        assert grid.f2f_boundary == 5
+        assert grid.crosses_f2f(5, 6)
+        assert not grid.crosses_f2f(4, 5)
+        assert grid.f2f_capacity[0, 0] > 0
+
+    def test_merged_grid_requires_spec(self, tech):
+        merged = merge_beol(tech.stack, hk28_stack(4), tech.f2f)
+        with pytest.raises(ValueError):
+            RoutingGrid(merged.stack, Rect(0, 0, 100, 100), merged=merged)
+
+    def test_substrate_coverage(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        grid.block_substrate(Rect(0, 0, 250, 500))
+        path = [(0, 0), (1, 0)]
+        assert grid.path_blocked_fraction(path) > 0.9
+        far = [(grid.nx - 1, 0), (grid.nx - 1, 1)]
+        assert grid.path_blocked_fraction(far) == pytest.approx(0.0)
+
+
+class TestRouter:
+    def test_all_signal_nets_routed(self, tiny_tile, routed_tile):
+        _fp, _pl, _grid, _router, routed = routed_tile
+        expected = sum(
+            1 for net in tiny_tile.netlist.nets
+            if not net.is_clock and net.degree >= 2
+        )
+        assert len(routed) == expected
+
+    def test_paths_are_connected(self, routed_tile):
+        *_stuff, routed = routed_tile
+        for rn in list(routed.values())[::13]:
+            for edge in rn.edges:
+                for (ax, ay), (bx, by) in zip(edge.path, edge.path[1:]):
+                    assert abs(ax - bx) + abs(ay - by) == 1
+
+    def test_routed_length_at_least_manhattan(self, routed_tile):
+        *_stuff, routed = routed_tile
+        for rn in list(routed.values())[::13]:
+            for edge in rn.edges:
+                direct = manhattan(
+                    rn.points[edge.source_index], rn.points[edge.target_index]
+                )
+                assert edge.length >= direct * 0.999
+
+    def test_detour_factor_reasonable(self, routed_tile):
+        _fp, _pl, _grid, router, _routed = routed_tile
+        assert 1.0 <= router.detour_factor() < 1.5
+
+    def test_usage_consistent_with_paths(self, routed_tile):
+        _fp, _pl, grid, _router, routed = routed_tile
+        use_h = np.zeros_like(grid.use_h)
+        use_v = np.zeros_like(grid.use_v)
+        for rn in routed.values():
+            for edge in rn.edges:
+                for (ax, ay), (bx, by) in zip(edge.path, edge.path[1:]):
+                    if ax != bx:
+                        use_h[min(ax, bx), ay] += 1
+                    else:
+                        use_v[ax, min(ay, by)] += 1
+        assert np.allclose(use_h, grid.use_h)
+        assert np.allclose(use_v, grid.use_v)
+
+
+class TestLayerAssign:
+    def test_assignment_totals(self, routed_tile):
+        _fp, _pl, grid, _router, routed = routed_tile
+        assignment = LayerAssigner(grid).run(routed)
+        assert assignment.total_vias > 0
+        assert assignment.total_f2f == 0  # no F2F layer in a 2D stack
+        total_wl = sum(assignment.wirelength_by_layer.values())
+        routed_wl = sum(r.wirelength for r in routed.values())
+        assert total_wl == pytest.approx(routed_wl, rel=0.2)
+
+    def test_rc_positive(self, routed_tile):
+        _fp, _pl, grid, _router, routed = routed_tile
+        assignment = LayerAssigner(grid).run(routed)
+        for edges in list(assignment.edges.values())[::17]:
+            for e in edges:
+                assert e.resistance > 0
+                assert e.capacitance > 0
+
+    def test_runs_match_directions(self, routed_tile, tech):
+        _fp, _pl, grid, _router, routed = routed_tile
+        assignment = LayerAssigner(grid).run(routed)
+        from repro.tech.layers import LayerDirection
+        metals = tech.stack.routing_layers
+        for edges in list(assignment.edges.values())[::29]:
+            for e in edges:
+                for run in e.runs:
+                    horizontal = run.gcells[0][1] == run.gcells[1][1]
+                    direction = metals[run.layer].direction
+                    if horizontal:
+                        assert direction is LayerDirection.HORIZONTAL
+                    else:
+                        assert direction is LayerDirection.VERTICAL
+
+    def test_macro_pins_counted_in_merged_stack(self, tiny_tile, tech):
+        """In a merged stack every macro-die pin connection crosses F2F."""
+        from repro.core.projection import project_mol
+        from repro.tech.presets import hk28_macro_die
+        import repro.netlist.openpiton as op
+        tile = op.build_tile(op.small_cache_config(), scale=0.02)
+        projection = project_mol(tile, tech, hk28_macro_die())
+        ports = place_ports(tile.netlist, projection.combined.outline)
+        placement = legalize(
+            global_place(tile.netlist, projection.combined, ports),
+            tech.row_height,
+        ).placement
+        grid = RoutingGrid(
+            projection.merged.stack,
+            projection.combined.outline,
+            merged=projection.merged,
+            f2f=tech.f2f,
+        )
+        router = GlobalRouter(tile.netlist, placement, grid)
+        routed = router.run()
+        assignment = LayerAssigner(grid).run(routed)
+        # At least one bump per pin of the macros actually placed in the
+        # macro die (overflow banks may stay in the logic die).
+        macro_die_pins = sum(
+            len(tile.netlist.instance(name).master.pins)
+            for name in projection.macro_die_instances
+        )
+        assert assignment.total_f2f >= macro_die_pins * 0.8
+        assert grid.total_f2f_vias() == assignment.total_f2f

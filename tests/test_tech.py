@@ -1,0 +1,174 @@
+"""Technology layer: stacks, corners, presets, BEOL merging."""
+
+import pytest
+
+from repro.tech.beol import MACRO_DIE_SUFFIX, merge_beol, rename_to_macro_die
+from repro.tech.corners import Corner, CornerSet, default_corner_set
+from repro.tech.layers import (
+    CutLayer,
+    LayerDirection,
+    LayerStack,
+    RoutingLayer,
+)
+from repro.tech.presets import hk28, hk28_macro_die, hk28_stack
+from repro.tech.technology import F2FViaSpec
+
+
+def metal(name, direction=LayerDirection.HORIZONTAL):
+    return RoutingLayer(name, direction, 0.1, 0.05, 0.09, 3.0, 0.2)
+
+
+def cut(name):
+    return CutLayer(name, 5.0, 0.05, 0.1, 0.05, 0.1)
+
+
+class TestLayerStack:
+    def test_must_alternate(self):
+        with pytest.raises(ValueError):
+            LayerStack([metal("M1"), metal("M2")])
+        with pytest.raises(ValueError):
+            LayerStack([metal("M1"), cut("V1"), cut("V2")])
+
+    def test_must_start_and_end_with_routing(self):
+        with pytest.raises(ValueError):
+            LayerStack([cut("V1"), metal("M1")])
+        with pytest.raises(ValueError):
+            LayerStack([metal("M1"), cut("V1")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            LayerStack([metal("M1"), cut("V"), metal("M1")])
+
+    def test_lookup(self):
+        stack = hk28_stack(6)
+        assert stack.routing_index("M4") == 3
+        assert stack.routing_layer("M4").name == "M4"
+        assert "M4" in stack and "M9" not in stack
+        with pytest.raises(KeyError):
+            stack.routing_layer("VIA12")
+
+    def test_cut_between(self):
+        stack = hk28_stack(6)
+        assert stack.cut_between(0).name == "VIA12"
+        with pytest.raises(IndexError):
+            stack.cut_between(5)
+
+    def test_with_suffix(self):
+        stack = hk28_stack(3).with_suffix("_MD")
+        assert [l.name for l in stack.routing_layers] == [
+            "M1_MD", "M2_MD", "M3_MD",
+        ]
+
+    def test_truncated(self):
+        stack = hk28_stack(6).truncated(4)
+        assert stack.num_routing_layers == 4
+        assert stack.layers[-1].name == "M4"
+        with pytest.raises(ValueError):
+            hk28_stack(6).truncated(7)
+
+    def test_total_metal_area(self):
+        assert hk28_stack(6).total_metal_area(100.0) == pytest.approx(600.0)
+
+
+class TestCorners:
+    def test_default_set_roles(self):
+        corners = default_corner_set(0.9)
+        assert corners.slowest.delay_derate > 1.0
+        assert corners.typical.delay_derate == 1.0
+        assert len(corners) == 3
+        assert set(corners.names()) == {c.name for c in corners}
+
+    def test_invalid_roles_rejected(self):
+        c = Corner("x", 1, 1, 1, 1, 0.9)
+        with pytest.raises(ValueError):
+            CornerSet([c], typical="nope", slowest="x")
+
+    def test_negative_derate_rejected(self):
+        with pytest.raises(ValueError):
+            Corner("bad", -1.0, 1, 1, 1, 0.9)
+
+
+class TestF2F:
+    def test_paper_defaults(self):
+        f2f = F2FViaSpec()
+        assert f2f.pitch == 1.0
+        assert f2f.size == 0.5
+        assert f2f.height == pytest.approx(0.17)
+        assert f2f.resistance == pytest.approx(0.044)
+        assert f2f.capacitance == pytest.approx(1.0)
+
+    def test_size_cannot_exceed_pitch(self):
+        with pytest.raises(ValueError):
+            F2FViaSpec(pitch=0.4, size=0.5)
+
+    def test_max_bumps(self):
+        assert F2FViaSpec().max_bumps(100.0) == 100
+
+    def test_as_cut_layer(self):
+        layer = F2FViaSpec().as_cut_layer()
+        assert layer.name == "F2F_VIA"
+        assert layer.resistance == pytest.approx(0.044)
+
+
+class TestMergeBeol:
+    def test_layer_order_macro_die_flipped(self):
+        merged = merge_beol(hk28_stack(6), hk28_stack(4), F2FViaSpec())
+        names = [l.name for l in merged.stack.routing_layers]
+        # Logic die bottom-up, then macro die top-metal first.
+        assert names == [
+            "M1", "M2", "M3", "M4", "M5", "M6",
+            "M4_MD", "M3_MD", "M2_MD", "M1_MD",
+        ]
+
+    def test_f2f_between_dies(self):
+        merged = merge_beol(hk28_stack(6), hk28_stack(4), F2FViaSpec())
+        cuts = [l.name for l in merged.stack.cut_layers]
+        assert cuts[5] == "F2F_VIA"
+
+    def test_boundary_index(self):
+        merged = merge_beol(hk28_stack(6), hk28_stack(4), F2FViaSpec())
+        assert merged.f2f_routing_boundary == 5  # M6
+
+    def test_die_of_layer(self):
+        merged = merge_beol(hk28_stack(6), hk28_stack(4), F2FViaSpec())
+        assert merged.die_of_layer("M3") == "logic"
+        assert merged.die_of_layer("M3_MD") == "macro"
+        assert merged.die_of_layer("F2F_VIA") == "f2f"
+        with pytest.raises(KeyError):
+            merged.die_of_layer("M9")
+
+    def test_crossing_requires_unique_names(self):
+        assert rename_to_macro_die("M3") == "M3" + MACRO_DIE_SUFFIX
+
+
+class TestPresets:
+    def test_hk28_shape(self):
+        tech = hk28()
+        assert tech.num_metal_layers == 6
+        assert tech.node_nm == 28
+        assert tech.row_height == pytest.approx(1.2)
+        directions = [l.direction for l in tech.stack.routing_layers]
+        for below, above in zip(directions, directions[1:]):
+            assert below != above  # alternating H/V
+
+    def test_macro_die_variant(self):
+        assert hk28_macro_die(4).num_metal_layers == 4
+
+    def test_layer_count_bounds(self):
+        with pytest.raises(ValueError):
+            hk28_stack(0)
+        with pytest.raises(ValueError):
+            hk28_stack(7)
+
+    def test_with_stack_preserves_rest(self):
+        tech = hk28()
+        thin = tech.with_stack(hk28_stack(4))
+        assert thin.num_metal_layers == 4
+        assert thin.row_height == tech.row_height
+        assert thin.corners is tech.corners
+
+    def test_upper_layers_less_resistive(self):
+        stack = hk28_stack(6)
+        metals = stack.routing_layers
+        assert metals[-1].r_per_um < metals[0].r_per_um
+        assert metals[-1].pitch > metals[0].pitch

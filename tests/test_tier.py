@@ -1,0 +1,132 @@
+"""Tier partitioning and F2F via planning (S2D/C2D machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.floorplan.macro_placer import place_macros_mol
+from repro.floorplan.pins import place_ports
+from repro.geom import Point
+from repro.netlist.openpiton import LOGIC_DIE, MACRO_DIE
+from repro.place.global_place import Placement
+from repro.tech.technology import F2FViaSpec
+from repro.tier.f2f_planner import plan_f2f_vias
+from repro.tier.partition import tier_partition
+
+
+@pytest.fixture(scope="module")
+def mol_setup(tiny_tile):
+    macro_fp, logic_fp = place_macros_mol(tiny_tile)
+    combined = logic_fp  # placement coordinates live in the die outline
+    ports = place_ports(tiny_tile.netlist, combined.outline)
+    # A rough placement: all cells at the center is enough for partition
+    # mechanics; real flows pass the pseudo placement.
+    from repro.floorplan.floorplan import Floorplan
+    union = Floorplan("union", combined.outline, combined.utilization)
+    for source in (macro_fp, logic_fp):
+        for name, rect in source.macro_placements.items():
+            union.place_macro(name, rect)
+    placement = Placement(tiny_tile.netlist, union, ports)
+    macro_assignment = {}
+    for name in logic_fp.macro_placements:
+        macro_assignment[name] = 0
+    for name in macro_fp.macro_placements:
+        macro_assignment[name] = 1
+    return macro_fp, logic_fp, placement, macro_assignment
+
+
+class TestPartition:
+    def test_every_instance_assigned(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        result = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        for inst in tiny_tile.netlist.instances:
+            assert result.assignment[inst.name] in (0, 1)
+
+    def test_macros_keep_fixed_assignment(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        result = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        for name, die in macro_assignment.items():
+            assert result.assignment[name] == die
+
+    def test_area_mode_balances_globally(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        result = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp,
+            macro_assignment, mode="area",
+        )
+        cells = tiny_tile.netlist.std_cells()
+        area1 = sum(
+            i.area for i in cells if result.assignment[i.name] == 1
+        )
+        total = sum(i.area for i in cells)
+        assert 0.3 < area1 / total < 0.7  # classic 50/50 with slack
+
+    def test_capacity_mode_respects_macro_die(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        result = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp,
+            macro_assignment, mode="capacity",
+        )
+        cells = tiny_tile.netlist.std_cells()
+        area1 = sum(
+            i.area for i in cells if result.assignment[i.name] == 1
+        )
+        total = sum(i.area for i in cells)
+        # The macro die is nearly full of macros: few cells land there.
+        assert area1 / total < 0.45
+
+    def test_cut_nets_counted(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        result = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        assert result.cut_nets > 0
+        assert result.cut_nets <= tiny_tile.netlist.num_nets
+
+    def test_unknown_mode_rejected(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        with pytest.raises(ValueError):
+            tier_partition(
+                tiny_tile.netlist, placement, logic_fp, macro_fp,
+                macro_assignment, mode="telepathy",
+            )
+
+
+class TestF2FPlanner:
+    def test_one_bump_per_cut_net(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        partition = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        plan = plan_f2f_vias(
+            tiny_tile.netlist, placement, partition, F2FViaSpec()
+        )
+        assert plan.total_bumps == partition.cut_nets
+
+    def test_bumps_on_grid_and_unique(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        partition = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        f2f = F2FViaSpec()
+        plan = plan_f2f_vias(tiny_tile.netlist, placement, partition, f2f)
+        seen = set()
+        for bumps in plan.bumps.values():
+            for point in bumps:
+                key = (round(point.x / f2f.pitch), round(point.y / f2f.pitch))
+                assert key not in seen  # min-pitch uniqueness
+                seen.add(key)
+
+    def test_uncut_design_needs_no_bumps(self, tiny_tile, mol_setup):
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        from repro.tier.partition import PartitionResult
+        all_zero = PartitionResult(
+            assignment={i.name: 0 for i in tiny_tile.netlist.instances}
+        )
+        plan = plan_f2f_vias(
+            tiny_tile.netlist, placement, all_zero, F2FViaSpec()
+        )
+        assert plan.total_bumps == 0

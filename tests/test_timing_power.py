@@ -1,0 +1,280 @@
+"""Extraction, STA, clock tree, power, buffering, sizing on small designs."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extract.rc import extract_design, extract_net
+from repro.floorplan.floorplan import Floorplan
+from repro.floorplan.pins import place_ports
+from repro.geom import Point, Rect
+from repro.opt.buffering import BufferPlan, plan_buffers
+from repro.opt.sizing import size_for_load, size_for_timing
+from repro.place.global_place import Placement, global_place
+from repro.power.power import analyze_power
+from repro.route.global_route import GlobalRouter
+from repro.route.grid import RoutingGrid
+from repro.route.layer_assign import LayerAssigner
+from repro.timing.clock_tree import ClockTreeOptions, synthesize_clock_tree
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import net_slacks, run_sta
+
+
+@pytest.fixture()
+def mini_routed(mini_with_macro, tech):
+    """Placed and routed mini netlist (with macro), ready for sign-off."""
+    netlist = mini_with_macro
+    fp = Floorplan("mini", Rect(0, 0, 200, 200), utilization=0.7)
+    fp.place_macro("mem", Rect(100, 100, 140, 120))
+    ports = place_ports(netlist, fp.outline)
+    placement = global_place(netlist, fp, ports)
+    grid = RoutingGrid(tech.stack, fp.outline)
+    router = GlobalRouter(netlist, placement, grid)
+    routed = router.run()
+    assignment = LayerAssigner(grid).run(routed)
+    return netlist, placement, routed, assignment
+
+
+class TestExtraction:
+    def test_corner_scaling(self, mini_routed, tech):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        assert slow.total_wire_cap() > typ.total_wire_cap()
+        for name, rc in typ.nets.items():
+            for sink, delay in rc.elmore.items():
+                assert slow.nets[name].elmore[sink] >= delay
+
+    def test_elmore_monotone_along_path(self, mini_routed, tech):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        for rc in typ.nets.values():
+            for sink in rc.elmore:
+                assert rc.elmore[sink] >= 0.0
+                assert rc.path_r[sink] >= 0.0
+                assert rc.path_c[sink] >= 0.0
+                assert rc.sink_wirelength[sink] >= 0.0
+                assert rc.sink_direct[sink] <= rc.sink_wirelength[sink] + 1e-6
+
+    def test_driver_load_tracks_sizing(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        rc = typ.nets["q1"]
+        before = rc.driver_load
+        inv = netlist.instance("inv")
+        inv.master = library.cell("INV_X16")
+        assert rc.driver_load > before  # live pin capacitance
+        inv.master = library.cell("INV_X2")
+
+
+class TestSta:
+    def test_fmax_positive_and_critical_traced(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        plan = plan_buffers(slow, library)
+        result = run_sta(graph, slow, plan, TimingConstraints())
+        assert result.min_period > 0
+        assert result.critical is not None
+        assert result.critical.nets  # traceable path
+
+    def test_memory_paths_constrained(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        endpoint_names = {e.name for e in graph.endpoints}
+        assert any(name.startswith("mem/") for name in endpoint_names)
+        assert "ff2/D" in endpoint_names
+        assert "dout" in endpoint_names
+
+    def test_macro_launch_uses_access_delay(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        plan = plan_buffers(slow, library)
+        result = run_sta(graph, slow, plan, TimingConstraints())
+        # ff3 is fed by the macro: its endpoint period must exceed the
+        # derated access delay.
+        macro = netlist.instance("mem").master
+        access = macro.access_delay * tech.corners.slowest.delay_derate
+        assert result.endpoint_period["ff3/D"] > access
+
+    def test_slower_corner_lowers_fmax(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        graph = TimingGraph(netlist)
+        constraints = TimingConstraints()
+        results = {}
+        for corner in (tech.corners.typical, tech.corners.slowest):
+            parasitics = extract_design(routed, assignment, corner)
+            plan = plan_buffers(parasitics, library)
+            results[corner.name] = run_sta(graph, parasitics, plan, constraints)
+        assert (
+            results[tech.corners.slowest.name].fmax_mhz
+            < results[tech.corners.typical.name].fmax_mhz
+        )
+
+    def test_net_slacks_nonnegative_at_min_period(
+        self, mini_routed, tech, library
+    ):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        plan = plan_buffers(slow, library)
+        constraints = TimingConstraints()
+        result = run_sta(graph, slow, plan, constraints)
+        slacks = net_slacks(graph, slow, plan, constraints, result.min_period)
+        assert slacks
+        assert min(slacks.values()) >= -60.0  # approximate consistency
+
+    def test_larger_margin_lowers_fmax(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        plan = plan_buffers(slow, library)
+        loose = run_sta(graph, slow, plan,
+                        TimingConstraints(clock_uncertainty=5.0))
+        tight = run_sta(graph, slow, plan,
+                        TimingConstraints(clock_uncertainty=150.0))
+        assert tight.min_period > loose.min_period
+
+
+class TestClockTree:
+    def _sinks(self, n, span=1000.0):
+        import random
+        rng = random.Random(3)
+        return [Point(rng.uniform(0, span), rng.uniform(0, span))
+                for _ in range(n)]
+
+    def test_depth_grows_with_sinks(self, tech, library):
+        layer = tech.stack.routing_layer("M6")
+        outline = Rect(0, 0, 1000, 1000)
+        small = synthesize_clock_tree(self._sinks(64), 1.0, outline, layer, library)
+        big = synthesize_clock_tree(self._sinks(4096), 1.0, outline, layer, library)
+        assert big.depth > small.depth
+        assert big.num_buffers > small.num_buffers
+
+    def test_depth_grows_with_span(self, tech, library):
+        layer = tech.stack.routing_layer("M6")
+        sinks = self._sinks(512)
+        near = synthesize_clock_tree(
+            sinks, 1.0, Rect(0, 0, 800, 800), layer, library
+        )
+        far = synthesize_clock_tree(
+            [p.scaled(3.0) for p in sinks], 1.0,
+            Rect(0, 0, 2400, 2400), layer, library,
+        )
+        assert far.depth > near.depth  # the paper's 2D-large vs 3D effect
+        assert far.skew > near.skew
+
+    def test_f2f_sinks_counted(self, tech, library):
+        layer = tech.stack.routing_layer("M6")
+        tree = synthesize_clock_tree(
+            self._sinks(100), 1.0, Rect(0, 0, 1000, 1000), layer, library,
+            macro_die_sinks=7,
+        )
+        assert tree.f2f_count == 7
+
+    def test_energy_positive(self, tech, library):
+        layer = tech.stack.routing_layer("M6")
+        tree = synthesize_clock_tree(
+            self._sinks(128), 1.0, Rect(0, 0, 500, 500), layer, library
+        )
+        assert tree.energy_per_cycle(0.9) > 0
+        assert tree.capacitance > 128 * 1.0  # at least the sink pins
+
+
+class TestBuffering:
+    def test_repeaters_reduce_long_wire_delay(self, library):
+        plan = BufferPlan(repeater=library.cell("BUF_X8"))
+        r, c = 3000.0, 400.0  # a long resistive line
+        raw = plan._segmented_delay(r, c, 0)
+        k = plan.optimal_count(r, c)
+        assert k >= 1
+        assert plan._segmented_delay(r, c, k) < raw
+
+    def test_short_wire_unbuffered(self, library):
+        plan = BufferPlan(repeater=library.cell("BUF_X8"))
+        assert plan.optimal_count(50.0, 5.0) == 0
+
+    def test_blocked_stretch_adds_delay(self, library):
+        plan = BufferPlan(repeater=library.cell("BUF_X8"))
+        free = plan.split_delay(2000.0, 300.0, 0.0, 3)
+        blocked = plan.split_delay(2000.0, 300.0, 0.8, 3)
+        assert blocked > free
+
+    def test_plan_accounting(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        plan = plan_buffers(slow, library)
+        assert plan.added_area() == plan.num_repeaters * plan.repeater.area
+        assert plan.added_pin_cap() >= 0.0
+
+
+class TestSizing:
+    def test_size_for_load_improves_heavy_nets(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        resized = size_for_load(netlist, slow, library, target_stage_delay=30.0)
+        assert resized >= 1
+
+    def test_size_for_timing_never_worse(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        plan = plan_buffers(slow, library)
+        constraints = TimingConstraints()
+        before = run_sta(graph, slow, plan, constraints).min_period
+        result = size_for_timing(
+            netlist, graph, slow, plan, constraints, library, max_iterations=6
+        )
+        assert result.sta.min_period <= before + 1e-9
+
+    def test_iso_target_stops_early(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        slow = extract_design(routed, assignment, tech.corners.slowest)
+        graph = TimingGraph(netlist)
+        plan = plan_buffers(slow, library)
+        constraints = TimingConstraints()
+        base = run_sta(graph, slow, plan, constraints).min_period
+        result = size_for_timing(
+            netlist, graph, slow, plan, constraints, library,
+            max_iterations=10, target_period=base * 2.0,
+        )
+        assert result.iterations == 0  # target already met
+
+
+class TestPower:
+    def test_breakdown_components(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        plan = plan_buffers(typ, library)
+        report = analyze_power(netlist, typ, plan, None, TimingConstraints())
+        assert report.dynamic["net_switching"] > 0
+        assert report.dynamic["macro_access"] > 0
+        assert report.leakage > 0
+
+    def test_emean_includes_leakage_at_low_freq(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        plan = plan_buffers(typ, library)
+        report = analyze_power(netlist, typ, plan, None, TimingConstraints())
+        assert report.emean(10.0) > report.emean(1000.0)
+
+    def test_power_scales_with_frequency(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        plan = plan_buffers(typ, library)
+        report = analyze_power(netlist, typ, plan, None, TimingConstraints())
+        assert report.total_power_uw(800.0) > report.total_power_uw(400.0)
+
+    def test_higher_toggle_rate_more_energy(self, mini_routed, tech, library):
+        netlist, _pl, routed, assignment = mini_routed
+        typ = extract_design(routed, assignment, tech.corners.typical)
+        plan = plan_buffers(typ, library)
+        low = analyze_power(netlist, typ, plan, None,
+                            TimingConstraints(toggle_rate=0.1))
+        high = analyze_power(netlist, typ, plan, None,
+                             TimingConstraints(toggle_rate=0.4))
+        assert high.dynamic_energy > low.dynamic_energy

@@ -1,0 +1,47 @@
+"""Unit conventions and conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_rc_to_ps():
+    # 1 kOhm * 1 fF = 1 ps.
+    assert units.rc_to_ps(1000.0, 1.0) == pytest.approx(1.0)
+
+
+def test_period_frequency_roundtrip():
+    assert units.period_to_mhz(2000.0) == pytest.approx(500.0)
+    assert units.mhz_to_period(500.0) == pytest.approx(2000.0)
+
+
+@given(st.floats(1e-3, 1e6))
+def test_period_mhz_inverse(period):
+    assert units.mhz_to_period(units.period_to_mhz(period)) == pytest.approx(
+        period, rel=1e-9
+    )
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_nonpositive_rejected(bad):
+    with pytest.raises(ValueError):
+        units.period_to_mhz(bad)
+    with pytest.raises(ValueError):
+        units.mhz_to_period(bad)
+
+
+def test_switching_energy():
+    # 10 fF at 1 V -> 10 fJ.
+    assert units.switching_energy_fj(10.0, 1.0) == pytest.approx(10.0)
+    # Quadratic in voltage.
+    assert units.switching_energy_fj(10.0, 0.5) == pytest.approx(2.5)
+
+
+def test_energy_power_consistency():
+    # 100 fJ/cycle at 1000 MHz is 100 uW.
+    assert units.energy_per_cycle_to_uw(100.0, 1000.0) == pytest.approx(100.0)
+
+
+def test_area_conversion():
+    assert units.um2_to_mm2(1.0e6) == pytest.approx(1.0)

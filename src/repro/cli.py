@@ -6,9 +6,11 @@ any Python — the interface a downstream user reaches for first.
 Commands::
 
     python -m repro run --flow macro3d --config small --scale 0.04
+    python -m repro run --flow macro3d --trace-out run.json
     python -m repro compare --config small --scale 0.03
     python -m repro table3 --config large
     python -m repro floorplans --config small
+    python -m repro trace run.json
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.flows.flow2d import run_flow_2d
 from repro.flows.shrunk2d import run_flow_s2d
 from repro.io.def_io import write_floorplan_map
 from repro.metrics.report import format_table
+from repro.obs import FlowTrace, format_trace, load_trace, recording
 from repro.netlist.openpiton import (
     TileConfig,
     build_tile,
@@ -65,8 +68,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         kwargs["balanced"] = True
     if args.flow == "macro3d" and args.macro_metals != 6:
         kwargs["macro_tech"] = hk28_macro_die(args.macro_metals)
-    result = runner(_config(args.config), scale=args.scale, **kwargs)
+    if args.trace_out:
+        with recording() as recorder:
+            result = runner(_config(args.config), scale=args.scale, **kwargs)
+        trace = FlowTrace.from_recorder(
+            recorder, flow=result.flow, design=result.design
+        )
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(trace.to_json())
+        print(f"trace written to {args.trace_out}")
+    else:
+        result = runner(_config(args.config), scale=args.scale, **kwargs)
     _print_result(result)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    print(format_trace(load_trace(args.path)))
     return 0
 
 
@@ -140,6 +158,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="use the balanced (BF) floorplan with s2d")
     run_p.add_argument("--macro-metals", type=int, default=6,
                        help="macro-die metal layers for macro3d (6 or 4)")
+    run_p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="record a FlowTrace of the run to this JSON file")
     common(run_p)
     run_p.set_defaults(handler=cmd_run)
 
@@ -154,12 +174,21 @@ def build_parser() -> argparse.ArgumentParser:
     fp_p = sub.add_parser("floorplans", help="print the Fig. 4 floorplans")
     common(fp_p)
     fp_p.set_defaults(handler=cmd_floorplans)
+
+    tr_p = sub.add_parser("trace", help="print a recorded FlowTrace JSON")
+    tr_p.add_argument("path", help="path to a --trace-out JSON file")
+    tr_p.set_defaults(handler=cmd_trace)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped to head/less that closed early; not an error.
+        sys.stderr.close()
+        return 0
 
 
 if __name__ == "__main__":

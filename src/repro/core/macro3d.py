@@ -33,6 +33,7 @@ from repro.flows.base import (
 )
 from repro.floorplan.macro_placer import MacroPlacerOptions
 from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.obs import count, span
 from repro.tech.presets import hk28, hk28_macro_die
 from repro.tech.technology import Technology
 
@@ -54,27 +55,31 @@ def run_flow_macro3d(
     logic = logic_tech or hk28()
     macro = macro_tech or hk28_macro_die()
     if tile is None:
-        tile = build_tile(config, scale=scale)
+        with span("build_tile", config=config.name, scale=scale):
+            tile = build_tile(config, scale=scale)
     netlist = tile.netlist
 
     # Steps 1-2: dual floorplans, scripted edits, combined BEOL.
-    projection = project_mol(tile, logic, macro, floorplan_options)
+    with span("project_mol"):
+        projection = project_mol(tile, logic, macro, floorplan_options)
     merged = projection.merged
     combined = projection.combined
 
     # Step 3: one standard 2D P&R pass on the projected design.
-    placement, legal, _ports = place_design(
-        netlist, combined, logic.row_height, options
-    )
-    grid, routed, assignment = route_design(
-        netlist,
-        placement,
-        merged.stack,
-        combined,
-        options,
-        merged=merged,
-        technology=logic,
-    )
+    with span("place"):
+        placement, legal, _ports = place_design(
+            netlist, combined, logic.row_height, options
+        )
+    with span("route"):
+        grid, routed, assignment = route_design(
+            netlist,
+            placement,
+            merged.stack,
+            combined,
+            options,
+            merged=merged,
+            technology=logic,
+        )
     clock_tree = synthesize_clock(
         netlist,
         placement,
@@ -84,12 +89,15 @@ def run_flow_macro3d(
         options,
         macro_die_instances=projection.macro_die_instances,
     )
-    signoff = signoff_design(
-        netlist, tile.library, routed, assignment, logic, clock_tree, options
-    )
+    with span("signoff"):
+        signoff = signoff_design(
+            netlist, tile.library, routed, assignment, logic, clock_tree, options
+        )
 
     # Step 4: die separation (also validates the layer partition).
-    dies: Dict[str, DieView] = separate_dies(projection, assignment)
+    with span("separate_dies"):
+        dies: Dict[str, DieView] = separate_dies(projection, assignment)
+        count("separated_dies", len(dies))
 
     flow_name = (
         "Macro-3D"

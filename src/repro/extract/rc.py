@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cells.stdcell import PinDirection
 from repro.netlist.core import Instance, Net, Netlist, Port
+from repro.obs import count
 from repro.route.global_route import RoutedNet
 from repro.route.layer_assign import AssignedEdge, LayerAssignment
 from repro.tech.corners import Corner
@@ -188,4 +189,5 @@ def extract_design(
         design.nets[name] = extract_net(
             routed, assignment.net_edges(name), corner
         )
+    count("extracted_nets", len(design.nets))
     return design

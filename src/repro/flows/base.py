@@ -25,6 +25,7 @@ from repro.floorplan.pins import place_ports, validate_alignment
 from repro.geom import Point, Rect
 from repro.metrics.ppa import PPASummary
 from repro.netlist.core import Instance, Netlist
+from repro.obs import annotate, count, gauge, observe, span
 from repro.opt.buffering import BufferPlan, plan_buffers
 from repro.opt.sizing import SizingResult, size_for_load, size_for_timing
 from repro.place.global_place import GlobalPlacerOptions, Placement, global_place
@@ -98,9 +99,15 @@ def place_design(
     if violations:
         raise ValueError(f"IO alignment violations: {violations[:3]}")
     anchors = allocate_module_regions(netlist, floorplan)
-    rough = global_place(netlist, floorplan, ports, options.placer, anchors)
-    legal = legalize(rough, row_height)
-    refine_placement(legal.placement)
+    with span("global_place", cells=netlist.num_instances):
+        rough = global_place(netlist, floorplan, ports, options.placer, anchors)
+    with span("legalize"):
+        legal = legalize(rough, row_height)
+        count("legalize_forced", legal.forced)
+        count("legalize_failures", legal.failures)
+        observe("legalize_displacement_um", float(legal.displacement.sum()))
+    with span("detailed_place"):
+        refine_placement(legal.placement)
     return legal.placement, legal, ports
 
 
@@ -142,8 +149,14 @@ def route_design(
     for blockage in floorplan.blockages:
         grid.block_substrate(blockage.rect, blockage.density)
     router = GlobalRouter(netlist, placement, grid, options.router)
-    routed = router.run()
-    assignment = LayerAssigner(grid, die1_cells).run(routed)
+    with span("global_route", gcells=grid.nx * grid.ny):
+        routed = router.run()
+        annotate(nets=len(routed))
+        gauge("overflow_bins", float(grid.overflow_2d()))
+    with span("layer_assign"):
+        assignment = LayerAssigner(grid, die1_cells).run(routed)
+        count("f2f_vias", assignment.total_f2f)
+        count("signal_vias", assignment.total_vias)
     return grid, routed, assignment
 
 
@@ -177,15 +190,18 @@ def synthesize_clock(
     clock_layer = stack.routing_layers[-1]
     if any(l.name == "M6" for l in stack.routing_layers):
         clock_layer = stack.routing_layer("M6")
-    return synthesize_clock_tree(
-        sinks,
-        avg_cap,
-        floorplan.outline,
-        clock_layer,
-        library,
-        macro_die_sinks=macro_die_sinks,
-        options=options.cts,
-    )
+    with span("cts", sinks=len(sinks)):
+        tree = synthesize_clock_tree(
+            sinks,
+            avg_cap,
+            floorplan.outline,
+            clock_layer,
+            library,
+            macro_die_sinks=macro_die_sinks,
+            options=options.cts,
+        )
+        count("clock_sinks", len(sinks))
+    return tree
 
 
 @dataclass
@@ -219,8 +235,9 @@ def signoff_design(
     ``post_opt`` re-optimizes once on the real parasitics (C2D).
     """
     corners = technology.corners
-    slow = extract_design(routed, assignment, corners.slowest)
-    typical = extract_design(routed, assignment, corners.typical)
+    with span("extract", nets=len(routed)):
+        slow = extract_design(routed, assignment, corners.slowest)
+        typical = extract_design(routed, assignment, corners.typical)
     constraints = options.constraints.with_skew(clock_tree.skew)
     graph = TimingGraph(netlist)
     target_period = (
@@ -230,27 +247,37 @@ def signoff_design(
     )
 
     opt_view = believed if believed is not None else slow
-    size_for_load(netlist, opt_view, library)
-    plan = plan_buffers(opt_view, library)
-    sizing = size_for_timing(
-        netlist, graph, opt_view, plan, constraints, library,
-        max_iterations=options.sizing_iterations,
-        target_period=target_period,
-    )
-    if believed is None:
-        sta = sizing.sta
-    elif post_opt:
-        size_for_load(netlist, slow, library)
-        plan = plan_buffers(slow, library)
+    with span("optimize", believed=believed is not None, post_opt=post_opt):
+        size_for_load(netlist, opt_view, library)
+        plan = plan_buffers(opt_view, library)
         sizing = size_for_timing(
-            netlist, graph, slow, plan, constraints, library,
+            netlist, graph, opt_view, plan, constraints, library,
             max_iterations=options.sizing_iterations,
             target_period=target_period,
         )
-        sta = sizing.sta
-    else:
-        sta = run_sta(graph, slow, plan, constraints)
-    power = analyze_power(netlist, typical, plan, clock_tree, constraints)
+        count("sizing_iterations", sizing.iterations)
+        count("cells_upsized", sizing.num_upsized)
+        count("repeaters_added", plan.num_repeaters)
+    with span("sta"):
+        if believed is None:
+            sta = sizing.sta
+        elif post_opt:
+            size_for_load(netlist, slow, library)
+            plan = plan_buffers(slow, library)
+            sizing = size_for_timing(
+                netlist, graph, slow, plan, constraints, library,
+                max_iterations=options.sizing_iterations,
+                target_period=target_period,
+            )
+            count("sizing_iterations", sizing.iterations)
+            count("cells_upsized", sizing.num_upsized)
+            sta = sizing.sta
+        else:
+            sta = run_sta(graph, slow, plan, constraints)
+        gauge("min_period_ps", sta.min_period)
+        gauge("timing_endpoints", float(len(sta.endpoint_period)))
+    with span("power"):
+        power = analyze_power(netlist, typical, plan, clock_tree, constraints)
     return Signoff(slow, typical, plan, sizing, sta, power, constraints)
 
 

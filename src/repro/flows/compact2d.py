@@ -26,6 +26,7 @@ from repro.floorplan.macro_placer import (
     place_macros_mol,
 )
 from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.obs import span
 from repro.tech.layers import CutLayer, Layer, LayerStack, RoutingLayer
 from repro.tech.presets import hk28, hk28_macro_die
 from repro.tech.technology import Technology
@@ -71,15 +72,17 @@ def run_flow_c2d(
     logic = logic_tech or hk28()
     macro = macro_tech or hk28_macro_die()
     if tile is None:
-        tile = build_tile(config, scale=scale)
+        with span("build_tile", config=config.name, scale=scale):
+            tile = build_tile(config, scale=scale)
     netlist = tile.netlist
 
-    if balanced:
-        die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
-        flow_name = "BF C2D"
-    else:
-        die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
-        flow_name = "MoL C2D"
+    with span("floorplan", balanced=balanced):
+        if balanced:
+            die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
+            flow_name = "BF C2D"
+        else:
+            die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
+            flow_name = "MoL C2D"
 
     # -- stage 1: the inflated pseudo design ------------------------------------
     pseudo_fp = pseudo_floorplan(
@@ -90,17 +93,20 @@ def run_flow_c2d(
         die0_fp.utilization,
         transform=INFLATE,
     )
-    pseudo_placement, _legal, _ports = place_design(
-        netlist, pseudo_fp, logic.row_height, options
-    )
+    with span("pseudo_place"):
+        pseudo_placement, _legal, _ports = place_design(
+            netlist, pseudo_fp, logic.row_height, options
+        )
     pseudo_stack = scaled_parasitics_stack(logic.stack, 1.0 / INFLATE)
-    _grid, pseudo_routed, pseudo_assignment = route_design(
-        netlist, pseudo_placement, pseudo_stack, pseudo_fp, options,
-        obstruction_fraction=0.5,
-    )
-    believed = extract_design(
-        pseudo_routed, pseudo_assignment, logic.corners.slowest
-    )
+    with span("pseudo_route"):
+        _grid, pseudo_routed, pseudo_assignment = route_design(
+            netlist, pseudo_placement, pseudo_stack, pseudo_fp, options,
+            obstruction_fraction=0.5,
+        )
+    with span("pseudo_extract"):
+        believed = extract_design(
+            pseudo_routed, pseudo_assignment, logic.corners.slowest
+        )
 
     # Linear mapping back to the final coordinate space.
     mapped = pseudo_placement.copy()

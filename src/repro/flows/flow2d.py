@@ -20,6 +20,7 @@ from repro.flows.base import (
 )
 from repro.floorplan.macro_placer import MacroPlacerOptions, place_macros_2d
 from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.obs import span
 from repro.tech.presets import hk28
 from repro.tech.technology import Technology
 
@@ -40,22 +41,27 @@ def run_flow_2d(
     """
     tech = technology or hk28()
     if tile is None:
-        tile = build_tile(config, scale=scale)
+        with span("build_tile", config=config.name, scale=scale):
+            tile = build_tile(config, scale=scale)
     netlist = tile.netlist
 
-    floorplan = place_macros_2d(tile, floorplan_options)
-    placement, legal, _ports = place_design(
-        netlist, floorplan, tech.row_height, options
-    )
-    grid, routed, assignment = route_design(
-        netlist, placement, tech.stack, floorplan, options
-    )
+    with span("floorplan"):
+        floorplan = place_macros_2d(tile, floorplan_options)
+    with span("place"):
+        placement, legal, _ports = place_design(
+            netlist, floorplan, tech.row_height, options
+        )
+    with span("route"):
+        grid, routed, assignment = route_design(
+            netlist, placement, tech.stack, floorplan, options
+        )
     clock_tree = synthesize_clock(
         netlist, placement, floorplan, tech.stack, tile.library, options
     )
-    signoff = signoff_design(
-        netlist, tile.library, routed, assignment, tech, clock_tree, options
-    )
+    with span("signoff"):
+        signoff = signoff_design(
+            netlist, tile.library, routed, assignment, tech, clock_tree, options
+        )
     summary = summarize_flow(
         flow="2D",
         design=netlist.name,

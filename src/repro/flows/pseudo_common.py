@@ -38,6 +38,7 @@ from repro.floorplan.pins import place_ports
 from repro.geom import Rect
 from repro.netlist.core import Netlist
 from repro.netlist.openpiton import Tile
+from repro.obs import count, observe, span
 from repro.place.global_place import Placement
 from repro.place.legalize import LegalizeResult, legalize
 from repro.tech.beol import MACRO_DIE_SUFFIX, merge_beol
@@ -130,14 +131,16 @@ def finalize_two_die(
     for macro_name in die1_fp.macro_placements:
         macro_assignment[macro_name] = 1
 
-    partition = tier_partition(
-        netlist,
-        pseudo_placement,
-        die0_fp,
-        die1_fp,
-        macro_assignment,
-        mode=partition_mode,
-    )
+    with span("tier_partition", mode=partition_mode):
+        partition = tier_partition(
+            netlist,
+            pseudo_placement,
+            die0_fp,
+            die1_fp,
+            macro_assignment,
+            mode=partition_mode,
+        )
+        count("cut_nets", partition.cut_nets)
 
     # Final placement object in the true coordinate space.
     ports = place_ports(netlist, combined.outline)
@@ -161,38 +164,45 @@ def finalize_two_die(
     forced = 0
     displacement_total = 0.0
     legal_results = []
-    for die, die_fp in ((0, die0_fp), (1, die1_fp)):
-        view = final.copy()
-        view.floorplan = die_fp
-        for inst in netlist.instances:
-            view.movable[inst.id] = (
-                not inst.is_macro and inst.name in die_cells[die]
-            )
-        legal = legalize(view, logic_tech.row_height)
-        legal_results.append(legal)
-        forced += legal.forced
-        for inst in netlist.std_cells():
-            if inst.name in die_cells[die]:
-                final.x[inst.id] = legal.placement.x[inst.id]
-                final.y[inst.id] = legal.placement.y[inst.id]
-        displacement_total += float(legal.displacement.sum())
+    with span("overlap_fix"):
+        for die, die_fp in ((0, die0_fp), (1, die1_fp)):
+            view = final.copy()
+            view.floorplan = die_fp
+            for inst in netlist.instances:
+                view.movable[inst.id] = (
+                    not inst.is_macro and inst.name in die_cells[die]
+                )
+            legal = legalize(view, logic_tech.row_height)
+            legal_results.append(legal)
+            forced += legal.forced
+            count("legalize_forced", legal.forced)
+            count("legalize_failures", legal.failures)
+            for inst in netlist.std_cells():
+                if inst.name in die_cells[die]:
+                    final.x[inst.id] = legal.placement.x[inst.id]
+                    final.y[inst.id] = legal.placement.y[inst.id]
+            displacement_total += float(legal.displacement.sum())
+            observe("legalize_displacement_um", float(legal.displacement.sum()))
 
     # F2F via planning (the flows' own estimate of the bump demand).
-    f2f_plan = plan_f2f_vias(netlist, final, partition, logic_tech.f2f)
+    with span("f2f_plan"):
+        f2f_plan = plan_f2f_vias(netlist, final, partition, logic_tech.f2f)
+        count("planner_bumps", f2f_plan.total_bumps)
 
     # The second routing, on the true merged BEOL.
     edit_top_die_macros(tile, set(die1_fp.macro_placements))
     merged = merge_beol(logic_tech.stack, macro_tech.stack, logic_tech.f2f)
-    grid, routed, assignment = route_design(
-        netlist,
-        final,
-        merged.stack,
-        combined,
-        options,
-        merged=merged,
-        technology=logic_tech,
-        die1_cells=die_cells[1],
-    )
+    with span("reroute"):
+        grid, routed, assignment = route_design(
+            netlist,
+            final,
+            merged.stack,
+            combined,
+            options,
+            merged=merged,
+            technology=logic_tech,
+            die1_cells=die_cells[1],
+        )
     macro_die_instances = die_cells[1] | set(die1_fp.macro_placements)
     clock_tree = synthesize_clock(
         netlist,
@@ -203,17 +213,18 @@ def finalize_two_die(
         options,
         macro_die_instances=macro_die_instances,
     )
-    signoff = signoff_design(
-        netlist,
-        tile.library,
-        routed,
-        assignment,
-        logic_tech,
-        clock_tree,
-        options,
-        believed=believed,
-        post_opt=post_opt,
-    )
+    with span("signoff"):
+        signoff = signoff_design(
+            netlist,
+            tile.library,
+            routed,
+            assignment,
+            logic_tech,
+            clock_tree,
+            options,
+            believed=believed,
+            post_opt=post_opt,
+        )
     summary = summarize_flow(
         flow=flow_name,
         design=netlist.name,

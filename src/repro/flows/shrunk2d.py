@@ -39,6 +39,7 @@ from repro.floorplan.macro_placer import (
     place_macros_mol,
 )
 from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.obs import span
 from repro.tech.presets import hk28, hk28_macro_die
 from repro.tech.technology import Technology
 
@@ -61,15 +62,17 @@ def run_flow_s2d(
     logic = logic_tech or hk28()
     macro = macro_tech or hk28_macro_die()
     if tile is None:
-        tile = build_tile(config, scale=scale)
+        with span("build_tile", config=config.name, scale=scale):
+            tile = build_tile(config, scale=scale)
     netlist = tile.netlist
 
-    if balanced:
-        die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
-        flow_name = "BF S2D"
-    else:
-        die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
-        flow_name = "MoL S2D"
+    with span("floorplan", balanced=balanced):
+        if balanced:
+            die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
+            flow_name = "BF S2D"
+        else:
+            die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
+            flow_name = "MoL S2D"
 
     # -- stage 1: the shrunk pseudo design ------------------------------------
     pseudo_fp = pseudo_floorplan(
@@ -80,18 +83,21 @@ def run_flow_s2d(
         die0_fp.utilization,
     )
     originals = shrink_std_cells(netlist, SHRINK)
-    pseudo_placement, _legal, _ports = place_design(
-        netlist, pseudo_fp, logic.row_height * SHRINK, options
-    )
+    with span("pseudo_place"):
+        pseudo_placement, _legal, _ports = place_design(
+            netlist, pseudo_fp, logic.row_height * SHRINK, options
+        )
     # Pseudo routing sees one die's BEOL; macros obstruct it at 50 %
     # (each macro exists in only one die of the future stack).
-    _grid, pseudo_routed, pseudo_assignment = route_design(
-        netlist, pseudo_placement, logic.stack, pseudo_fp, options,
-        obstruction_fraction=0.5,
-    )
-    believed = extract_design(
-        pseudo_routed, pseudo_assignment, logic.corners.slowest
-    )
+    with span("pseudo_route"):
+        _grid, pseudo_routed, pseudo_assignment = route_design(
+            netlist, pseudo_placement, logic.stack, pseudo_fp, options,
+            obstruction_fraction=0.5,
+        )
+    with span("pseudo_extract"):
+        believed = extract_design(
+            pseudo_routed, pseudo_assignment, logic.corners.slowest
+        )
     restore_std_cells(netlist, originals)
 
     # -- stage 2: partition, fix overlaps, plan bumps, re-route, sign off ------

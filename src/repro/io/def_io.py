@@ -1,15 +1,19 @@
 """DEF-like placement/routing dumps and layout density maps.
 
 ``write_def`` emits a diffable text snapshot of a placed-and-routed
-design (components, macro locations, per-net routed wirelength).
-``write_density_map`` renders the ASCII placement/density views the
-Figure-5/6 benches print — the closest textual equivalent of the paper's
-layout plots.
+design (components, macro locations, per-net routed wirelength);
+``read_def`` parses that text back into a :class:`DefDesign` whose
+``dumps`` reproduces the input byte for byte — the round-trip contract
+the regression suite locks down, since determinism tests and FlowTrace
+reports reference these snapshots.  ``write_density_map`` renders the
+ASCII placement/density views the Figure-5/6 benches print — the
+closest textual equivalent of the paper's layout plots.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +58,117 @@ def write_def(
         lines.append("END NETS")
     lines.append("END DESIGN")
     return "\n".join(lines) + "\n"
+
+
+@dataclass
+class DefComponent:
+    """One placed instance of a DEF snapshot."""
+
+    kind: str  # "MACRO" | "CELL"
+    name: str
+    master: str
+    status: str  # "FIXED" | "PLACED"
+    x: float
+    y: float
+
+
+@dataclass
+class DefNet:
+    """One routed net line of a DEF snapshot."""
+
+    name: str
+    degree: int
+    wirelength: float
+
+
+@dataclass
+class DefDesign:
+    """Parsed form of a :func:`write_def` snapshot.
+
+    ``dumps`` re-emits the exact text ``write_def`` produced, so
+    ``read_def(text).dumps() == text`` for any writer output — the
+    fixed-point property the format tests assert.
+    """
+
+    design: str
+    die_area: Tuple[float, float, float, float]
+    components: List[DefComponent] = field(default_factory=list)
+    #: None when the snapshot was written without routing.
+    nets: Optional[List[DefNet]] = None
+
+    def component(self, name: str) -> DefComponent:
+        for comp in self.components:
+            if comp.name == name:
+                return comp
+        raise KeyError(f"no component {name!r}")
+
+    def dumps(self) -> str:
+        xlo, ylo, xhi, yhi = self.die_area
+        lines = [f"DESIGN {self.design}"]
+        lines.append(f"DIEAREA {xlo:.3f} {ylo:.3f} {xhi:.3f} {yhi:.3f}")
+        lines.append(f"COMPONENTS {len(self.components)}")
+        for comp in self.components:
+            lines.append(
+                f"  {comp.kind} {comp.name} {comp.master} {comp.status} "
+                f"{comp.x:.3f} {comp.y:.3f}"
+            )
+        lines.append("END COMPONENTS")
+        if self.nets is not None:
+            lines.append(f"NETS {len(self.nets)}")
+            for net in self.nets:
+                lines.append(
+                    f"  NET {net.name} DEGREE {net.degree} "
+                    f"WIRELENGTH {net.wirelength:.3f}"
+                )
+            lines.append("END NETS")
+        lines.append("END DESIGN")
+        return "\n".join(lines) + "\n"
+
+
+def read_def(text: str) -> DefDesign:
+    """Parse :func:`write_def` output back into a :class:`DefDesign`."""
+    design: Optional[DefDesign] = None
+    nets: Optional[List[DefNet]] = None
+    for raw in text.splitlines():
+        tokens = raw.split()
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head == "DESIGN":
+            design = DefDesign(design=tokens[1], die_area=(0.0, 0.0, 0.0, 0.0))
+        elif design is None:
+            raise ValueError("DEF text does not start with DESIGN")
+        elif head == "DIEAREA":
+            design.die_area = (
+                float(tokens[1]), float(tokens[2]),
+                float(tokens[3]), float(tokens[4]),
+            )
+        elif head in ("MACRO", "CELL"):
+            design.components.append(
+                DefComponent(
+                    kind=head,
+                    name=tokens[1],
+                    master=tokens[2],
+                    status=tokens[3],
+                    x=float(tokens[4]),
+                    y=float(tokens[5]),
+                )
+            )
+        elif head == "NETS":
+            nets = []
+        elif head == "NET":
+            assert nets is not None, "NET line outside a NETS section"
+            nets.append(
+                DefNet(
+                    name=tokens[1],
+                    degree=int(tokens[3]),
+                    wirelength=float(tokens[5]),
+                )
+            )
+    if design is None:
+        raise ValueError("text contains no DEF design")
+    design.nets = nets
+    return design
 
 
 def write_floorplan_map(

@@ -1,0 +1,59 @@
+"""Flow observability: spans, counters, and FlowTrace reports.
+
+The subsystem answers one question for every flow run: *where is
+wall-clock and quality won or lost?*  It is built around a single
+process-global recorder slot:
+
+- With no recorder installed (the default), every instrumentation call —
+  :func:`span`, :func:`count`, :func:`gauge`, :func:`observe` — is a
+  cheap no-op, so production runs and the tier-1 suite pay nothing.
+- Inside a :func:`recording` block every ``with span(...)`` nests a
+  timed span (wall time + peak RSS + arbitrary attributes) and every
+  counter/gauge/histogram lands in the recorder's registry.
+
+A completed recording serialises to the stable ``FlowTrace`` JSON schema
+(:mod:`repro.obs.report`), which ``python -m repro run --trace-out`` and
+``python -m repro trace`` expose from the command line.
+"""
+
+from repro.obs.trace import (
+    NullSpan,
+    Recorder,
+    SpanRecord,
+    active_recorder,
+    annotate,
+    recording,
+    span,
+)
+from repro.obs.metrics import (
+    HistogramStats,
+    MetricsRegistry,
+    count,
+    gauge,
+    observe,
+)
+from repro.obs.report import (
+    FLOWTRACE_SCHEMA,
+    FlowTrace,
+    format_trace,
+    load_trace,
+)
+
+__all__ = [
+    "FLOWTRACE_SCHEMA",
+    "FlowTrace",
+    "HistogramStats",
+    "MetricsRegistry",
+    "NullSpan",
+    "Recorder",
+    "SpanRecord",
+    "active_recorder",
+    "annotate",
+    "count",
+    "format_trace",
+    "gauge",
+    "load_trace",
+    "observe",
+    "recording",
+    "span",
+]

@@ -1,0 +1,133 @@
+"""Counters, gauges and histograms for flow runs.
+
+The registry lives on the active :class:`~repro.obs.trace.Recorder`;
+the module-level helpers :func:`count`, :func:`gauge` and
+:func:`observe` write to it and are no-ops when tracing is disabled —
+the same zero-cost contract as spans.
+
+Hot-path etiquette: accumulate locally and emit one ``count`` per unit
+of work (per edge, per net), never one per inner-loop step.
+
+Canonical metric names used by the instrumented flows (see README):
+
+counters
+    ``maze_expansions``, ``maze_routes``, ``pattern_routes``,
+    ``ripup_nets``, ``negotiation_rounds``, ``cg_iterations``,
+    ``cg_solves``, ``placer_iterations``, ``legalize_forced``,
+    ``legalize_failures``, ``f2f_vias``, ``signal_vias``,
+    ``assigned_runs``, ``extracted_nets``, ``sta_runs``,
+    ``sizing_iterations``, ``cells_upsized``
+gauges
+    ``overflow_bins``, ``min_period_ps``, ``timing_endpoints``,
+    ``movable_cells``
+histograms
+    ``legalize_displacement_um``
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.obs import trace as _trace
+
+
+@dataclass
+class HistogramStats:
+    """Streaming summary of one observed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "HistogramStats":
+        stats = HistogramStats(
+            count=int(data.get("count", 0)),
+            total=float(data.get("total", 0.0)),
+        )
+        if stats.count:
+            stats.minimum = float(data.get("min", 0.0))
+            stats.maximum = float(data.get("max", 0.0))
+        return stats
+
+
+class MetricsRegistry:
+    """Thread-safe counters/gauges/histograms for one recording."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, HistogramStats] = {}
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            stats = self.histograms.get(name)
+            if stats is None:
+                stats = HistogramStats()
+                self.histograms[name] = stats
+            stats.add(value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.histograms.items())
+            },
+        }
+
+
+def count(name: str, value: float = 1.0) -> None:
+    """Increment a counter on the active recorder (no-op if disabled)."""
+    recorder = _trace._ACTIVE
+    if recorder is not None:
+        recorder.metrics.count(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set a gauge on the active recorder (no-op if disabled)."""
+    recorder = _trace._ACTIVE
+    if recorder is not None:
+        recorder.metrics.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Add a histogram sample on the active recorder (no-op if disabled)."""
+    recorder = _trace._ACTIVE
+    if recorder is not None:
+        recorder.metrics.observe(name, value)

@@ -1,0 +1,165 @@
+"""FlowTrace: the stable JSON schema of a recorded flow run.
+
+A ``FlowTrace`` bundles the span tree and the metric registry of one
+:func:`~repro.obs.trace.recording` together with the flow/design
+identity.  The JSON form (``schema`` = ``repro.obs.flowtrace/v1``) is
+what ``--trace-out`` writes, what ``python -m repro trace`` reads back,
+and what future ``BENCH_*.json`` entries cite for per-stage numbers —
+so it round-trips exactly and keys are emitted sorted for diffability.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import HistogramStats
+from repro.obs.trace import Recorder, SpanRecord
+
+FLOWTRACE_SCHEMA = "repro.obs.flowtrace/v1"
+
+
+@dataclass
+class FlowTrace:
+    """Serializable record of one observed flow run."""
+
+    flow: str
+    design: str
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramStats] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------------
+
+    @staticmethod
+    def from_recorder(
+        recorder: Recorder, flow: str = "", design: str = ""
+    ) -> "FlowTrace":
+        return FlowTrace(
+            flow=flow,
+            design=design,
+            spans=list(recorder.roots),
+            counters=dict(recorder.metrics.counters),
+            gauges=dict(recorder.metrics.gauges),
+            histograms=dict(recorder.metrics.histograms),
+        )
+
+    # -- queries -------------------------------------------------------------------
+
+    def all_spans(self) -> List[SpanRecord]:
+        out: List[SpanRecord] = []
+        for root in self.spans:
+            out.extend(root.walk())
+        return out
+
+    def span_names(self) -> List[str]:
+        return [s.name for s in self.all_spans()]
+
+    def span(self, name: str) -> Optional[SpanRecord]:
+        """First span with the given name anywhere in the tree."""
+        for record in self.all_spans():
+            if record.name == name:
+                return record
+        return None
+
+    def total_duration_s(self) -> float:
+        return sum(root.duration_s for root in self.spans)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": FLOWTRACE_SCHEMA,
+            "flow": self.flow,
+            "design": self.design,
+            "spans": [root.to_dict() for root in self.spans],
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FlowTrace":
+        schema = data.get("schema")
+        if schema != FLOWTRACE_SCHEMA:
+            raise ValueError(
+                f"not a FlowTrace document (schema {schema!r}, "
+                f"expected {FLOWTRACE_SCHEMA!r})"
+            )
+        return FlowTrace(
+            flow=data.get("flow", ""),
+            design=data.get("design", ""),
+            spans=[SpanRecord.from_dict(s) for s in data.get("spans", [])],
+            counters={
+                k: float(v) for k, v in data.get("counters", {}).items()
+            },
+            gauges={k: float(v) for k, v in data.get("gauges", {}).items()},
+            histograms={
+                k: HistogramStats.from_dict(v)
+                for k, v in data.get("histograms", {}).items()
+            },
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "FlowTrace":
+        return FlowTrace.from_dict(json.loads(text))
+
+
+def load_trace(path: str) -> FlowTrace:
+    """Read a FlowTrace JSON file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return FlowTrace.from_json(handle.read())
+
+
+def _format_spans(records: List[SpanRecord], total: float,
+                  depth: int, out: List[str]) -> None:
+    for record in records:
+        share = record.duration_s / total * 100.0 if total > 0 else 0.0
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(record.attrs.items())
+        )
+        indent = "  " * depth
+        out.append(
+            f"  {indent}{record.name:<{30 - 2 * depth}s}"
+            f" {record.duration_s * 1e3:10.1f} ms {share:5.1f}%"
+            f"  rss {record.peak_rss_kb / 1024.0:7.1f} MB"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+        _format_spans(record.children, total, depth + 1, out)
+
+
+def format_trace(trace: FlowTrace) -> str:
+    """Render a FlowTrace as the human-readable stage table."""
+    total = trace.total_duration_s()
+    out = [
+        f"FlowTrace — {trace.flow or '?'} on {trace.design or '?'}"
+        f"  (total {total:.3f} s)"
+    ]
+    out.append("  stage                              wall time  share"
+               "      peak rss")
+    _format_spans(trace.spans, total, 0, out)
+    if trace.counters:
+        out.append("  counters:")
+        for name, value in sorted(trace.counters.items()):
+            out.append(f"    {name:<28s} {value:,.0f}")
+    if trace.gauges:
+        out.append("  gauges:")
+        for name, value in sorted(trace.gauges.items()):
+            out.append(f"    {name:<28s} {value:,.3f}")
+    if trace.histograms:
+        out.append("  histograms:")
+        for name, stats in sorted(trace.histograms.items()):
+            out.append(
+                f"    {name:<28s} n={stats.count} mean={stats.mean:.3f}"
+                f" min={stats.minimum if stats.count else 0.0:.3f}"
+                f" max={stats.maximum if stats.count else 0.0:.3f}"
+            )
+    return "\n".join(out)

@@ -1,0 +1,238 @@
+"""Nestable timed spans with a zero-cost disabled path.
+
+Usage::
+
+    from repro.obs import span, recording
+
+    with recording() as rec:
+        with span("global_place", cells=n):
+            ...
+    rec.roots  # completed span tree
+
+Design constraints, in order:
+
+1. **Zero cost when disabled.**  ``span()`` with no active recorder
+   returns one shared :class:`NullSpan` singleton — no allocation, no
+   timestamps — so instrumented hot paths do not regress the tier-1
+   runtimes.
+2. **Thread safety.**  The recorder keeps one open-span stack per
+   thread (spans started on a worker thread become additional roots);
+   completed-span bookkeeping is guarded by a lock.
+3. **Nesting.**  A span opened while another is active on the same
+   thread becomes its child, which is how flow traces show the
+   stage → sub-stage breakdown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of the process, in kB (0 if unavailable)."""
+    if resource is None:  # pragma: no cover
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or open) span of the trace tree."""
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    #: Process peak RSS observed at span exit, kB.
+    peak_rss_kb: int = 0
+    children: List["SpanRecord"] = field(default_factory=list)
+
+    def child(self, name: str) -> Optional["SpanRecord"]:
+        """First direct child with the given name, if any."""
+        for c in self.children:
+            if c.name == name:
+                return c
+        return None
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This span and all descendants, depth first."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "attrs": dict(self.attrs),
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "SpanRecord":
+        return SpanRecord(
+            name=data["name"],
+            attrs=dict(data.get("attrs", {})),
+            start_s=float(data.get("start_s", 0.0)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            peak_rss_kb=int(data.get("peak_rss_kb", 0)),
+            children=[
+                SpanRecord.from_dict(c) for c in data.get("children", [])
+            ],
+        )
+
+
+class NullSpan:
+    """The shared do-nothing span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+
+_NULL_SPAN = NullSpan()
+
+
+class _LiveSpan:
+    """Context manager that records into its recorder on exit."""
+
+    __slots__ = ("_recorder", "record", "_t0")
+
+    def __init__(self, recorder: "Recorder", name: str,
+                 attrs: Dict[str, Any]):
+        self._recorder = recorder
+        self.record = SpanRecord(name=name, attrs=attrs)
+        self._t0 = 0.0
+
+    def set(self, **attrs: Any) -> "_LiveSpan":
+        self.record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_LiveSpan":
+        self._recorder._push(self.record)
+        self._t0 = time.perf_counter()
+        self.record.start_s = self._t0 - self._recorder.epoch
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.record.duration_s = time.perf_counter() - self._t0
+        self.record.peak_rss_kb = _peak_rss_kb()
+        self._recorder._pop(self.record)
+        return False
+
+
+class Recorder:
+    """Collects a span tree plus a metrics registry for one flow run."""
+
+    def __init__(self) -> None:
+        # Imported here to avoid a module cycle (metrics reads _ACTIVE).
+        from repro.obs.metrics import MetricsRegistry
+
+        self.epoch = time.perf_counter()
+        self.roots: List[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span stack (per thread) ---------------------------------------------------
+
+    def _stack(self) -> List[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            with self._lock:
+                parent.children.append(record)
+        else:
+            with self._lock:
+                self.roots.append(record)
+        stack.append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+
+    # -- public helpers ------------------------------------------------------------
+
+    def span(self, name: str, attrs: Dict[str, Any]) -> _LiveSpan:
+        return _LiveSpan(self, name, attrs)
+
+    def current(self) -> Optional[SpanRecord]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def all_spans(self) -> Iterator[SpanRecord]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def span_names(self) -> List[str]:
+        return [s.name for s in self.all_spans()]
+
+
+#: The process-global recorder; ``None`` means tracing is disabled.
+_ACTIVE: Optional[Recorder] = None
+
+
+def active_recorder() -> Optional[Recorder]:
+    """The currently installed recorder, or None when disabled."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs: Any):
+    """Open a (possibly no-op) span; use as a context manager."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return _NULL_SPAN
+    return recorder.span(name, attrs)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span, if tracing is on."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return
+    current = recorder.current()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+@contextmanager
+def recording(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Install a recorder for the duration of the block.
+
+    Nested recordings stack: the previous recorder is restored on exit,
+    so library code never has to know whether it runs traced.
+    """
+    global _ACTIVE
+    recorder = recorder or Recorder()
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous

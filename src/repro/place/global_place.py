@@ -30,6 +30,7 @@ from repro.cells.macro import Macro
 from repro.floorplan.floorplan import Floorplan
 from repro.geom import Point, Rect
 from repro.netlist.core import Instance, Net, Netlist, Port
+from repro.obs import active_recorder, count, gauge
 from repro.place.capacity import CapacityGrid
 
 
@@ -362,7 +363,17 @@ def global_place(
             module_groups.append((np.array(members), anchor))
     cohesion_w = options.module_cohesion * max(mean_weight, 1e-9)
 
+    gauge("movable_cells", float(n))
+    # CG iteration counting runs through a callback, which scipy invokes
+    # per iteration — attach it only when a recorder is installed so the
+    # untraced path stays callback-free.
+    cg_callback = None
+    if active_recorder() is not None:
+        def cg_callback(_xk: np.ndarray) -> None:
+            count("cg_iterations", 1)
+
     for iteration in range(options.iterations):
+        count("placer_iterations", 1)
         extra = np.full(n, regularisation)
         bx = conn.bx + regularisation * center.x
         by = conn.by + regularisation * center.y
@@ -385,8 +396,11 @@ def global_place(
             bx = bx + weight * targets[0]
             by = by + weight * targets[1]
         mat = conn.matrix(extra)
-        x_new, _ = spla.cg(mat, bx, x0=x, rtol=1e-6, maxiter=300)
-        y_new, _ = spla.cg(mat, by, x0=y, rtol=1e-6, maxiter=300)
+        x_new, _ = spla.cg(mat, bx, x0=x, rtol=1e-6, maxiter=300,
+                           callback=cg_callback)
+        y_new, _ = spla.cg(mat, by, x0=y, rtol=1e-6, maxiter=300,
+                           callback=cg_callback)
+        count("cg_solves", 2)
         x, y = x_new, y_new
         targets = _spread_targets(x, y, areas, grid)
 

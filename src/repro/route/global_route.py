@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.geom import Point
 from repro.netlist.core import Instance, Net, Netlist
+from repro.obs import count
 from repro.place.global_place import Placement
 from repro.route.grid import RoutingGrid
 from repro.route.steiner import decompose_net, manhattan
@@ -235,11 +236,13 @@ class GlobalRouter:
                 while path[-1] != a:
                     path.append(parent[path[-1]])
                 path.reverse()
+                count("maze_expansions", expansions)
                 return path
             if g > best.get(cell, math.inf):
                 continue
             expansions += 1
             if expansions > self.options.maze_expansion_limit:
+                count("maze_expansions", expansions)
                 return None
             cx, cy = cell
             for nx_, ny_, horizontal, ex, ey in (
@@ -258,6 +261,7 @@ class GlobalRouter:
                     parent[neighbour] = cell
                     h = abs(nx_ - b[0]) + abs(ny_ - b[1])
                     heapq.heappush(frontier, (g2 + h, g2, neighbour))
+        count("maze_expansions", expansions)
         return None
 
     # -- net-level routing ---------------------------------------------------------------
@@ -287,6 +291,9 @@ class GlobalRouter:
                 path = self._route_edge_maze(a, b)
             if path is None:
                 path = self._route_edge_pattern(a, b)
+                count("pattern_routes", 1)
+            else:
+                count("maze_routes", 1)
             self._apply_path(path, +1.0)
             direct = manhattan(routed.points[src], routed.points[dst])
             detour = max(0, len(path) - 1) * self.grid.gcell
@@ -351,6 +358,8 @@ class GlobalRouter:
             offenders = self._nets_on_overflow()
             if not offenders:
                 break
+            count("negotiation_rounds", 1)
+            count("ripup_nets", len(offenders))
             self.grid.add_history()
             self._refresh_costs()
             # Longest nets first get maze treatment within the budget.

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cells.macro import Macro
 from repro.netlist.core import Instance, Port
+from repro.obs import count
 from repro.route.global_route import GCell, RoutedEdge, RoutedNet
 from repro.route.grid import RoutingGrid
 from repro.tech.layers import LayerDirection
@@ -257,14 +258,17 @@ class LayerAssigner:
     def run(self, routed_nets: Dict[str, RoutedNet]) -> LayerAssignment:
         """Assign every routed net; returns the electrical view."""
         result = LayerAssignment()
+        num_runs = 0
         for name, routed in routed_nets.items():
             assigned_edges = [self.assign_edge(routed, e) for e in routed.edges]
             result.edges[name] = assigned_edges
             for assigned in assigned_edges:
                 result.total_vias += assigned.via_count
                 result.total_f2f += assigned.f2f_count
+                num_runs += len(assigned.runs)
                 for run in assigned.runs:
                     result.wirelength_by_layer[run.layer] = (
                         result.wirelength_by_layer.get(run.layer, 0.0) + run.length
                     )
+        count("assigned_runs", num_runs)
         return result

@@ -29,6 +29,7 @@ from repro.cells.macro import Macro
 from repro.cells.stdcell import StdCell
 from repro.extract.rc import DesignParasitics, NetRC
 from repro.netlist.core import Instance, Net
+from repro.obs import count
 from repro.opt.buffering import BufferPlan
 from repro.tech.corners import Corner
 from repro.timing.constraints import TimingConstraints
@@ -133,6 +134,7 @@ def run_sta(
     constraints: TimingConstraints,
 ) -> StaResult:
     """Compute arrivals and the minimum feasible clock period."""
+    count("sta_runs", 1)
     corner = parasitics.corner
     derate = corner.delay_derate
     model = _DelayModel(parasitics, plan)

@@ -13,10 +13,77 @@ from repro.cells.library import default_library
 from repro.cells.macro import Macro, MacroPin, Obstruction
 from repro.cells.memory_compiler import SRAMCompiler, SRAMConfig
 from repro.cells.stdcell import PinDirection
+from repro.core.macro3d import run_flow_macro3d
+from repro.flows.base import FlowOptions
+from repro.flows.compact2d import run_flow_c2d
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
 from repro.geom import Point, Rect
 from repro.netlist.core import Netlist, PortConstraint
 from repro.netlist.openpiton import build_tile, small_cache_config
+from repro.obs import FlowTrace, recording
 from repro.tech.presets import hk28, hk28_macro_die
+
+#: Shared statistical scale / options of the flow-level test runs.
+FLOW_SCALE = 0.02
+FLOW_OPTIONS = FlowOptions(sizing_iterations=3)
+
+
+def run_traced(runner, **kwargs):
+    """Run a flow with tracing on; returns (FlowResult, FlowTrace)."""
+    kwargs.setdefault("scale", FLOW_SCALE)
+    kwargs.setdefault("options", FLOW_OPTIONS)
+    with recording() as recorder:
+        result = runner(small_cache_config(), **kwargs)
+    trace = FlowTrace.from_recorder(
+        recorder, flow=result.flow, design=result.design
+    )
+    return result, trace
+
+
+# One session-scoped traced run per flow: test_flows, test_obs,
+# test_determinism and test_flow_shape all read these, so each flow is
+# executed once for the whole suite (results are read-only for tests).
+
+
+@pytest.fixture(scope="session")
+def traced_2d():
+    return run_traced(run_flow_2d)
+
+
+@pytest.fixture(scope="session")
+def traced_m3d():
+    return run_traced(run_flow_macro3d)
+
+
+@pytest.fixture(scope="session")
+def traced_s2d():
+    return run_traced(run_flow_s2d)
+
+
+@pytest.fixture(scope="session")
+def traced_c2d():
+    return run_traced(run_flow_c2d)
+
+
+@pytest.fixture(scope="session")
+def flow_2d(traced_2d):
+    return traced_2d[0]
+
+
+@pytest.fixture(scope="session")
+def flow_m3d(traced_m3d):
+    return traced_m3d[0]
+
+
+@pytest.fixture(scope="session")
+def flow_s2d(traced_s2d):
+    return traced_s2d[0]
+
+
+@pytest.fixture(scope="session")
+def flow_c2d(traced_c2d):
+    return traced_c2d[0]
 
 
 @pytest.fixture(scope="session")

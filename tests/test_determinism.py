@@ -1,0 +1,70 @@
+"""Same-seed regression: every flow is bitwise reproducible.
+
+Each flow is run twice with identical inputs — once by the shared
+session fixtures (which run *with* tracing enabled) and once fresh with
+tracing disabled — and the two runs must produce byte-identical DEF
+placement snapshots and identical reported wirelength/fmax.  This
+guards two properties at once:
+
+1. the flows are deterministic (the precondition for the ROADMAP's
+   future parallelism work: any thread-pool/sharded rewrite must keep
+   passing this test unchanged), and
+2. observability is read-only — recording spans and counters does not
+   perturb a single placement coordinate or timing number.
+"""
+
+import pytest
+
+from repro.core.macro3d import run_flow_macro3d
+from repro.flows.compact2d import run_flow_c2d
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.io.def_io import write_def
+from repro.netlist.openpiton import small_cache_config
+
+from tests.conftest import FLOW_OPTIONS, FLOW_SCALE
+
+_RUNNERS = {
+    "2d": run_flow_2d,
+    "m3d": run_flow_macro3d,
+    "s2d": run_flow_s2d,
+    "c2d": run_flow_c2d,
+}
+
+
+def _snapshot(result) -> str:
+    return write_def(result.design, result.placement, result.routed)
+
+
+@pytest.fixture(params=sorted(_RUNNERS))
+def flow_pair(request, traced_2d, traced_m3d, traced_s2d, traced_c2d):
+    """(first run result, identically-configured second run result)."""
+    first = {
+        "2d": traced_2d, "m3d": traced_m3d,
+        "s2d": traced_s2d, "c2d": traced_c2d,
+    }[request.param][0]
+    second = _RUNNERS[request.param](
+        small_cache_config(), scale=FLOW_SCALE, options=FLOW_OPTIONS
+    )
+    return first, second
+
+
+class TestDeterminism:
+    def test_placement_byte_identical(self, flow_pair):
+        first, second = flow_pair
+        assert _snapshot(first) == _snapshot(second)
+
+    def test_reported_metrics_identical(self, flow_pair):
+        first, second = flow_pair
+        assert first.summary.fclk_mhz == second.summary.fclk_mhz
+        assert (
+            first.summary.total_wirelength_m
+            == second.summary.total_wirelength_m
+        )
+        assert first.summary.f2f_bumps == second.summary.f2f_bumps
+        assert first.summary.power_uw == second.summary.power_uw
+
+    def test_legalization_identical(self, flow_pair):
+        first, second = flow_pair
+        assert first.legalization.forced == second.legalization.forced
+        assert first.legalization.failures == second.legalization.failures

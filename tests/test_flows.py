@@ -1,14 +1,15 @@
 """Flow-level integration: 2D, S2D, C2D, cross-flow invariants, metrics.
 
-These run the complete flows on a very small tile, so they are the
-slowest tests in the suite (~1-2 minutes total).
+These exercise the complete flows on a very small tile.  The flow runs
+themselves are the session-scoped ``flow_*`` fixtures of conftest.py
+(shared with test_obs/test_determinism/test_flow_shape), so each flow
+executes once for the whole suite.
 """
 
 import pytest
 
-from repro.core.macro3d import run_flow_macro3d
 from repro.flows.base import FlowOptions
-from repro.flows.compact2d import run_flow_c2d, scaled_parasitics_stack
+from repro.flows.compact2d import scaled_parasitics_stack
 from repro.flows.flow2d import run_flow_2d
 from repro.flows.shrunk2d import run_flow_s2d
 from repro.metrics.ppa import PPASummary, relative_change
@@ -16,23 +17,8 @@ from repro.metrics.report import format_table
 from repro.netlist.openpiton import small_cache_config
 from repro.tech.presets import hk28
 
-SCALE = 0.02
-FAST = FlowOptions(sizing_iterations=3)
-
-
-@pytest.fixture(scope="module")
-def flow_2d():
-    return run_flow_2d(small_cache_config(), scale=SCALE, options=FAST)
-
-
-@pytest.fixture(scope="module")
-def flow_m3d():
-    return run_flow_macro3d(small_cache_config(), scale=SCALE, options=FAST)
-
-
-@pytest.fixture(scope="module")
-def flow_s2d():
-    return run_flow_s2d(small_cache_config(), scale=SCALE, options=FAST)
+from tests.conftest import FLOW_OPTIONS as FAST
+from tests.conftest import FLOW_SCALE as SCALE
 
 
 class TestFlow2D:
@@ -98,11 +84,10 @@ class TestC2D:
         for raw, cooked in zip(tech.stack.cut_layers, scaled.cut_layers):
             assert cooked.resistance == pytest.approx(raw.resistance)
 
-    def test_complete(self):
-        result = run_flow_c2d(small_cache_config(), scale=SCALE, options=FAST)
-        assert result.summary.flow == "MoL C2D"
-        assert result.summary.fclk_mhz > 20
-        assert result.summary.f2f_bumps > 0
+    def test_complete(self, flow_c2d):
+        assert flow_c2d.summary.flow == "MoL C2D"
+        assert flow_c2d.summary.fclk_mhz > 20
+        assert flow_c2d.summary.f2f_bumps > 0
 
 
 class TestCrossFlow:

@@ -1,0 +1,266 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers span nesting, counter/gauge/histogram aggregation, the FlowTrace
+JSON round trip, the zero-cost disabled path, and the acceptance
+criterion that every flow's trace carries enough stage spans and
+counters to be useful as a perf baseline.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    FLOWTRACE_SCHEMA,
+    FlowTrace,
+    NullSpan,
+    active_recorder,
+    annotate,
+    count,
+    format_trace,
+    gauge,
+    load_trace,
+    observe,
+    recording,
+    span,
+)
+from repro.obs.metrics import HistogramStats
+
+
+class TestSpans:
+    def test_disabled_by_default(self):
+        assert active_recorder() is None
+        s = span("anything", attr=1)
+        assert isinstance(s, NullSpan)
+        # The null span is a shared singleton and swallows attributes.
+        assert span("other") is s
+        with s:
+            s.set(more=2)
+        annotate(ignored=True)  # must not raise
+
+    def test_noop_recorder_adds_no_attributes(self):
+        s = span("x", a=1)
+        with s as inner:
+            inner.set(b=2)
+        assert not hasattr(s, "record")
+        assert not hasattr(s, "attrs")
+
+    def test_span_nesting(self):
+        with recording() as rec:
+            with span("outer", level=0):
+                with span("inner_a"):
+                    pass
+                with span("inner_b"):
+                    with span("leaf"):
+                        pass
+        assert len(rec.roots) == 1
+        outer = rec.roots[0]
+        assert outer.name == "outer"
+        assert outer.attrs == {"level": 0}
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert outer.child("inner_b").children[0].name == "leaf"
+        assert rec.span_names() == ["outer", "inner_a", "inner_b", "leaf"]
+
+    def test_sibling_spans_after_exit(self):
+        with recording() as rec:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+        assert [r.name for r in rec.roots] == ["first", "second"]
+
+    def test_span_times_and_rss(self):
+        with recording() as rec:
+            with span("timed"):
+                sum(range(10000))
+        record = rec.roots[0]
+        assert record.duration_s >= 0.0
+        assert record.peak_rss_kb > 0
+
+    def test_annotate_targets_innermost(self):
+        with recording() as rec:
+            with span("outer"):
+                with span("inner"):
+                    annotate(hit=True)
+        assert rec.roots[0].child("inner").attrs == {"hit": True}
+        assert rec.roots[0].attrs == {}
+
+    def test_set_returns_span(self):
+        with recording() as rec:
+            with span("s") as s:
+                assert s.set(k=1) is s
+        assert rec.roots[0].attrs == {"k": 1}
+
+    def test_recording_restores_previous(self):
+        with recording() as outer_rec:
+            with recording() as inner_rec:
+                with span("inner_only"):
+                    pass
+            assert active_recorder() is outer_rec
+            with span("outer_only"):
+                pass
+        assert active_recorder() is None
+        assert inner_rec.span_names() == ["inner_only"]
+        assert outer_rec.span_names() == ["outer_only"]
+
+    def test_worker_thread_spans_become_roots(self):
+        with recording() as rec:
+            with span("main"):
+                worker = threading.Thread(target=lambda: span("bg").__enter__())
+                worker.start()
+                worker.join()
+        names = {r.name for r in rec.roots}
+        assert names == {"main", "bg"}
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        with recording() as rec:
+            count("edges")
+            count("edges", 4)
+            count("other", 2.5)
+        assert rec.metrics.counters == {"edges": 5.0, "other": 2.5}
+
+    def test_gauge_last_write_wins(self):
+        with recording() as rec:
+            gauge("overflow_bins", 10.0)
+            gauge("overflow_bins", 3.0)
+        assert rec.metrics.gauges["overflow_bins"] == 3.0
+
+    def test_histogram_stats(self):
+        with recording() as rec:
+            for v in (1.0, 5.0, 3.0):
+                observe("disp", v)
+        stats = rec.metrics.histograms["disp"]
+        assert stats.count == 3
+        assert stats.total == pytest.approx(9.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.mean == pytest.approx(3.0)
+
+    def test_disabled_metrics_are_noops(self):
+        count("nope")
+        gauge("nope", 1.0)
+        observe("nope", 1.0)
+        with recording() as rec:
+            pass
+        assert rec.metrics.counters == {}
+        assert rec.metrics.gauges == {}
+        assert rec.metrics.histograms == {}
+
+    def test_thread_safe_counting(self):
+        with recording() as rec:
+            def work():
+                for _ in range(1000):
+                    count("hits")
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert rec.metrics.counters["hits"] == 4000.0
+
+
+class TestFlowTraceSchema:
+    def _sample_trace(self):
+        with recording() as rec:
+            with span("place", cells=100):
+                with span("legalize"):
+                    count("legalize_forced", 2)
+            gauge("overflow_bins", 7.0)
+            observe("disp", 1.5)
+            observe("disp", 2.5)
+        return FlowTrace.from_recorder(rec, flow="2D", design="tile")
+
+    def test_json_round_trip_is_exact(self):
+        trace = self._sample_trace()
+        text = trace.to_json()
+        again = FlowTrace.from_json(text)
+        assert again.to_json() == text
+        assert again.flow == "2D"
+        assert again.design == "tile"
+        assert again.span_names() == ["place", "legalize"]
+        assert again.counters == {"legalize_forced": 2.0}
+        assert again.gauges == {"overflow_bins": 7.0}
+        assert again.histograms["disp"].count == 2
+        assert again.histograms["disp"].mean == pytest.approx(2.0)
+
+    def test_schema_marker(self):
+        data = json.loads(self._sample_trace().to_json())
+        assert data["schema"] == FLOWTRACE_SCHEMA
+        with pytest.raises(ValueError, match="not a FlowTrace"):
+            FlowTrace.from_dict({"schema": "bogus/v0"})
+
+    def test_load_trace_file(self, tmp_path):
+        trace = self._sample_trace()
+        path = tmp_path / "run.json"
+        path.write_text(trace.to_json())
+        loaded = load_trace(str(path))
+        assert loaded.to_json() == trace.to_json()
+
+    def test_format_trace_mentions_stages_and_counters(self):
+        text = format_trace(self._sample_trace())
+        assert "place" in text
+        assert "legalize" in text
+        assert "legalize_forced" in text
+        assert "overflow_bins" in text
+
+    def test_span_lookup(self):
+        trace = self._sample_trace()
+        assert trace.span("legalize") is not None
+        assert trace.span("missing") is None
+
+    def test_histogram_round_trip_empty(self):
+        stats = HistogramStats.from_dict(HistogramStats().to_dict())
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+#: Acceptance criterion: every flow trace reports at least this many
+#: named stage spans and distinct counters.
+MIN_STAGE_SPANS = 6
+MIN_COUNTERS = 8
+
+
+class TestFlowTraces:
+    @pytest.fixture(params=["2d", "m3d", "s2d", "c2d"])
+    def flow_trace(self, request, traced_2d, traced_m3d, traced_s2d,
+                   traced_c2d):
+        return {
+            "2d": traced_2d, "m3d": traced_m3d,
+            "s2d": traced_s2d, "c2d": traced_c2d,
+        }[request.param][1]
+
+    def test_trace_has_stage_spans_and_counters(self, flow_trace):
+        names = set(flow_trace.span_names())
+        assert len(names) >= MIN_STAGE_SPANS, sorted(names)
+        assert len(flow_trace.counters) >= MIN_COUNTERS, flow_trace.counters
+
+    def test_trace_json_round_trips(self, flow_trace):
+        text = flow_trace.to_json()
+        assert FlowTrace.from_json(text).to_json() == text
+
+    def test_core_stages_present(self, flow_trace):
+        names = set(flow_trace.span_names())
+        for stage in ("global_place", "legalize", "global_route",
+                      "layer_assign", "extract", "sta"):
+            assert stage in names, f"{flow_trace.flow}: missing {stage}"
+
+    def test_core_counters_present(self, flow_trace):
+        for counter in ("pattern_routes", "cg_solves", "extracted_nets",
+                        "sta_runs", "assigned_runs"):
+            assert counter in flow_trace.counters, flow_trace.flow
+
+    def test_3d_flows_count_f2f_vias(self, traced_m3d, traced_s2d,
+                                     traced_c2d):
+        for _result, trace in (traced_m3d, traced_s2d, traced_c2d):
+            assert trace.counters.get("f2f_vias", 0) > 0, trace.flow
+
+    def test_durations_cover_the_run(self, flow_trace):
+        # Stage spans should account for most of the wall clock: the
+        # trace is useful as a perf breakdown, not just a label tree.
+        total = flow_trace.total_duration_s()
+        assert total > 0.0
+        staged = sum(root.duration_s for root in flow_trace.spans)
+        assert staged == pytest.approx(total)

@@ -1,0 +1,84 @@
+"""Benchmark harness and QoR signoff reports (``repro.bench``).
+
+Built on :mod:`repro.obs`: every registered scenario (flow × cache
+config × size) runs under a recording, lands as a versioned
+``BENCH_<scenario>.json`` artifact with per-stage runtime, obs
+counters, histogram percentiles and the paper-style PPA block, plus
+dependency-free SVG signoff visuals (per-layer congestion heatmap,
+endpoint-slack histogram).  The baseline comparator gates regressions
+per metric — ``python -m repro bench run|compare|report`` is the
+interface, and CI's bench-smoke job keeps the committed baselines
+honest.
+"""
+
+from repro.bench.artifact import (
+    BENCH_SCHEMA,
+    BenchArtifact,
+    StageTiming,
+    artifact_filename,
+    load_artifact,
+    ppa_block,
+)
+from repro.bench.baseline import (
+    DEFAULT_BASELINE_DIR,
+    DEFAULT_SPECS,
+    MetricDelta,
+    MetricSpec,
+    compare_artifacts,
+    format_diff_table,
+    load_baseline,
+    worst_status,
+)
+from repro.bench.runner import (
+    discover_artifacts,
+    load_artifacts,
+    run_scenario,
+    write_benchmark,
+)
+from repro.bench.scenarios import (
+    SIZES,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+)
+from repro.bench.svg import (
+    congestion_layers,
+    endpoint_slacks_ps,
+    histogram_bins,
+    ramp_color,
+    render_congestion_svg,
+    render_signoff_visuals,
+    render_slack_histogram_svg,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchArtifact",
+    "DEFAULT_BASELINE_DIR",
+    "DEFAULT_SPECS",
+    "MetricDelta",
+    "MetricSpec",
+    "SIZES",
+    "Scenario",
+    "StageTiming",
+    "all_scenarios",
+    "artifact_filename",
+    "compare_artifacts",
+    "congestion_layers",
+    "discover_artifacts",
+    "endpoint_slacks_ps",
+    "format_diff_table",
+    "get_scenario",
+    "histogram_bins",
+    "load_artifact",
+    "load_artifacts",
+    "load_baseline",
+    "ppa_block",
+    "ramp_color",
+    "render_congestion_svg",
+    "render_signoff_visuals",
+    "render_slack_histogram_svg",
+    "run_scenario",
+    "worst_status",
+    "write_benchmark",
+]

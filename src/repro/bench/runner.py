@@ -1,0 +1,87 @@
+"""Execute bench scenarios and write their artifacts.
+
+``run_scenario`` runs one scenario under a fresh ``repro.obs``
+recording and returns the in-memory results; ``write_benchmark`` adds
+the on-disk products: the ``BENCH_<scenario>.json`` artifact plus the
+two QoR signoff SVGs next to it (``BENCH_<scenario>.congestion.svg``,
+``BENCH_<scenario>.slack.svg``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Tuple
+
+from repro.bench.artifact import (
+    BenchArtifact,
+    artifact_filename,
+    load_artifact,
+)
+from repro.bench.scenarios import Scenario
+from repro.bench.svg import render_signoff_visuals
+from repro.flows.base import FlowResult
+from repro.obs import FlowTrace, recording
+
+
+def run_scenario(
+    scenario: Scenario,
+) -> Tuple[BenchArtifact, FlowResult, FlowTrace]:
+    """Run one scenario traced and package the artifact."""
+    with recording() as recorder:
+        result = scenario.run()
+    trace = FlowTrace.from_recorder(
+        recorder, flow=result.flow, design=result.design
+    )
+    artifact = BenchArtifact.from_run(
+        scenario_name=scenario.name,
+        flow=scenario.flow,
+        config=scenario.config,
+        size=scenario.size,
+        scale=scenario.scale,
+        result=result,
+        trace=trace,
+    )
+    return artifact, result, trace
+
+
+def write_benchmark(
+    scenario: Scenario,
+    out_dir: str,
+    svg: bool = True,
+) -> Tuple[BenchArtifact, List[str]]:
+    """Run a scenario and write its artifact (+ visuals) into ``out_dir``.
+
+    Returns the artifact and the list of files written, artifact first.
+    """
+    artifact, result, _trace = run_scenario(scenario)
+    os.makedirs(out_dir, exist_ok=True)
+    paths: List[str] = []
+    artifact_path = os.path.join(out_dir, artifact_filename(scenario.name))
+    with open(artifact_path, "w", encoding="utf-8") as handle:
+        handle.write(artifact.to_json())
+    paths.append(artifact_path)
+    if svg:
+        visuals: Dict[str, str] = render_signoff_visuals(result)
+        for suffix, document in sorted(visuals.items()):
+            svg_path = os.path.join(
+                out_dir, f"BENCH_{scenario.name}.{suffix}.svg"
+            )
+            with open(svg_path, "w", encoding="utf-8") as handle:
+                handle.write(document)
+            paths.append(svg_path)
+    return artifact, paths
+
+
+def discover_artifacts(out_dir: str) -> List[str]:
+    """All ``BENCH_*.json`` files in a directory, sorted by name."""
+    if not os.path.isdir(out_dir):
+        return []
+    return sorted(
+        os.path.join(out_dir, name)
+        for name in os.listdir(out_dir)
+        if name.startswith("BENCH_") and name.endswith(".json")
+    )
+
+
+def load_artifacts(out_dir: str) -> List[BenchArtifact]:
+    return [load_artifact(path) for path in discover_artifacts(out_dir)]

@@ -1,0 +1,115 @@
+"""The benchmark scenario registry: what ``bench run`` can run.
+
+A scenario pins one flow × one cache configuration × one size, so a
+``BENCH_<scenario>.json`` artifact is comparable across commits.  The
+grid spans the paper's experimental space:
+
+- **flows** — the 2D reference and the three 3D methodologies (S2D,
+  C2D, Macro-3D) of Tables I/II;
+- **configs** — the small-cache and large-cache OpenPiton tiles;
+- **sizes** — ``small`` (CI smoke: tiny statistical scale, few sizing
+  iterations) and ``medium`` (closer to the paper's operating point).
+
+Scenario names are stable identifiers (``macro3d-largecache-small``);
+renaming one orphans its baseline, so don't.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.macro3d import run_flow_macro3d
+from repro.flows.base import FlowOptions, FlowResult
+from repro.flows.compact2d import run_flow_c2d
+from repro.flows.flow2d import run_flow_2d
+from repro.flows.shrunk2d import run_flow_s2d
+from repro.netlist.openpiton import (
+    TileConfig,
+    large_cache_config,
+    small_cache_config,
+)
+
+FLOW_RUNNERS: Dict[str, Callable[..., FlowResult]] = {
+    "2d": run_flow_2d,
+    "s2d": run_flow_s2d,
+    "c2d": run_flow_c2d,
+    "macro3d": run_flow_macro3d,
+}
+
+CONFIGS: Dict[str, Callable[[], TileConfig]] = {
+    "smallcache": small_cache_config,
+    "largecache": large_cache_config,
+}
+
+#: size -> (statistical netlist scale, sizing iterations).
+SIZES: Dict[str, tuple] = {
+    "small": (0.015, 3),
+    "medium": (0.03, 8),
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible benchmark configuration."""
+
+    name: str
+    flow: str
+    config: str
+    size: str
+    scale: float
+    sizing_iterations: int
+
+    def runner(self) -> Callable[..., FlowResult]:
+        return FLOW_RUNNERS[self.flow]
+
+    def tile_config(self) -> TileConfig:
+        return CONFIGS[self.config]()
+
+    def options(self) -> FlowOptions:
+        return FlowOptions(sizing_iterations=self.sizing_iterations)
+
+    def run(self) -> FlowResult:
+        """Execute the scenario's flow (no tracing — callers wrap it)."""
+        return self.runner()(
+            self.tile_config(), scale=self.scale, options=self.options()
+        )
+
+
+def _build_registry() -> Dict[str, Scenario]:
+    registry: Dict[str, Scenario] = {}
+    for flow in FLOW_RUNNERS:
+        for config in CONFIGS:
+            for size, (scale, iters) in SIZES.items():
+                name = f"{flow}-{config}-{size}"
+                registry[name] = Scenario(
+                    name=name,
+                    flow=flow,
+                    config=config,
+                    size=size,
+                    scale=scale,
+                    sizing_iterations=iters,
+                )
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_scenarios(size: Optional[str] = None) -> List[Scenario]:
+    """Registered scenarios, optionally filtered to one size tier."""
+    if size is not None and size not in SIZES:
+        raise KeyError(f"unknown size {size!r} (choose from {sorted(SIZES)})")
+    return [
+        s for s in _REGISTRY.values() if size is None or s.size == size
+    ]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by its stable name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; run `bench list` for the registry"
+        ) from None

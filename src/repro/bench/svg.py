@@ -1,0 +1,260 @@
+"""Dependency-free SVG renderers for QoR signoff visuals.
+
+Two pictures accompany every bench artifact:
+
+- :func:`render_congestion_svg` — one utilization heatmap panel per
+  routing layer (usage / capacity per GCell, green → yellow → red);
+- :func:`render_slack_histogram_svg` — endpoint-slack distribution at
+  the signed-off clock period.
+
+Everything is hand-emitted XML (no matplotlib), so the renderers work
+anywhere the flows do and their output is deterministic byte-for-byte.
+The pure helpers (:func:`ramp_color`, :func:`histogram_bins`,
+:func:`congestion_layers`, :func:`endpoint_slacks_ps`) carry the logic
+so tests can probe them without parsing pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+# -- data extraction -----------------------------------------------------------------
+
+
+def congestion_layers(grid) -> List[Tuple[str, List[List[float]]]]:
+    """Per-layer GCell utilization (usage / capacity) from a RoutingGrid.
+
+    Returns ``[(layer_name, util[nx][ny]), ...]`` with utilization 0.0
+    where a GCell has no capacity (fully blocked under a macro).
+    """
+    out: List[Tuple[str, List[List[float]]]] = []
+    for l, layer in enumerate(grid.layers):
+        cap = grid.layer_capacity[l]
+        use = grid.layer_usage[l]
+        util = [
+            [
+                float(use[ix, iy] / cap[ix, iy]) if cap[ix, iy] > 0 else 0.0
+                for iy in range(grid.ny)
+            ]
+            for ix in range(grid.nx)
+        ]
+        out.append((layer.name, util))
+    return out
+
+
+def endpoint_slacks_ps(sta) -> List[float]:
+    """Per-endpoint slack (ps) at the design's signed-off period.
+
+    Each endpoint alone would allow ``endpoint_period[e]``; at the
+    achieved minimum period the slack is the difference — 0 on the
+    critical endpoint, positive elsewhere.
+    """
+    period = sta.min_period
+    return [
+        period - required for required in sta.endpoint_period.values()
+    ]
+
+
+# -- color ramp ----------------------------------------------------------------------
+
+#: Control points of the utilization ramp: 0 % green, 50 % yellow,
+#: 100 %+ red (clipped).
+_RAMP = ((0.0, (34, 139, 34)), (0.5, (240, 200, 30)), (1.0, (240, 32, 32)))
+
+#: Utilization is quantized to this many ramp steps before coloring, so
+#: neighbouring GCells collapse into one run-length-merged rect.
+RAMP_STEPS = 24
+
+
+def ramp_color(t: float, quantize: bool = False) -> str:
+    """Map utilization ``t`` (clipped to [0, 1]) to a ``#rrggbb`` color."""
+    t = min(max(t, 0.0), 1.0)
+    if quantize:
+        t = round(t * RAMP_STEPS) / RAMP_STEPS
+    for (t0, c0), (t1, c1) in zip(_RAMP, _RAMP[1:]):
+        if t <= t1:
+            frac = (t - t0) / (t1 - t0)
+            rgb = tuple(
+                int(round(a + (b - a) * frac)) for a, b in zip(c0, c1)
+            )
+            return "#{:02x}{:02x}{:02x}".format(*rgb)
+    return "#{:02x}{:02x}{:02x}".format(*_RAMP[-1][1])
+
+
+# -- histogram binning ---------------------------------------------------------------
+
+
+def histogram_bins(
+    values: Sequence[float], nbins: int = 20
+) -> Tuple[List[float], List[int]]:
+    """Equal-width binning: ``(edges[nbins+1], counts[nbins])``.
+
+    The top edge is inclusive, so ``sum(counts) == len(values)``.
+    Degenerate inputs (empty, or all values equal) still produce a
+    well-formed single-occupied-bin result.
+    """
+    if nbins <= 0:
+        raise ValueError("nbins must be positive")
+    if not values:
+        return [float(i) for i in range(nbins + 1)], [0] * nbins
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        hi = lo + 1.0
+    width = (hi - lo) / nbins
+    edges = [lo + i * width for i in range(nbins + 1)]
+    counts = [0] * nbins
+    for v in values:
+        index = min(int((v - lo) / width), nbins - 1)
+        counts[index] += 1
+    return edges, counts
+
+
+# -- SVG emission --------------------------------------------------------------------
+
+_FONT = 'font-family="monospace"'
+
+
+def _svg_document(width: int, height: int, body: List[str]) -> str:
+    head = (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">\n'
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        'fill="#ffffff"/>\n'
+    )
+    return head + "\n".join(body) + "\n</svg>\n"
+
+
+def render_congestion_svg(
+    layers: Sequence[Tuple[str, List[List[float]]]],
+    title: str = "routing congestion",
+    cell_px: int = 6,
+    per_row: int = 4,
+) -> str:
+    """Render per-layer utilization heatmaps as one SVG document.
+
+    ``layers`` is ``[(name, util[nx][ny])]`` as produced by
+    :func:`congestion_layers`; panels are laid out ``per_row`` across.
+    """
+    if not layers:
+        return _svg_document(320, 60, [
+            f'<text x="10" y="30" {_FONT} font-size="13">'
+            f"{escape(title)}: no layers</text>"
+        ])
+    nx = len(layers[0][1])
+    ny = len(layers[0][1][0]) if nx else 0
+    panel_w = nx * cell_px
+    panel_h = ny * cell_px
+    pad, label_h, top = 18, 16, 34
+    cols = min(per_row, len(layers))
+    rows = (len(layers) + per_row - 1) // per_row
+    width = pad + cols * (panel_w + pad)
+    height = top + rows * (panel_h + label_h + pad)
+
+    body = [
+        f'<text x="{pad}" y="22" {_FONT} font-size="14">'
+        f"{escape(title)}</text>"
+    ]
+    for index, (name, util) in enumerate(layers):
+        px = pad + (index % per_row) * (panel_w + pad)
+        py = top + (index // per_row) * (panel_h + label_h + pad)
+        body.append(
+            f'<text x="{px}" y="{py + label_h - 4}" {_FONT} '
+            f'font-size="11">{escape(name)}</text>'
+        )
+        gy = py + label_h
+        zero = ramp_color(0.0)
+        body.append(
+            f'<rect x="{px}" y="{gy}" width="{panel_w}" '
+            f'height="{panel_h}" fill="{zero}"/>'
+        )
+        for iy in range(ny):
+            # SVG y grows downward; flip so iy=0 is the bottom row.
+            ry = gy + (ny - 1 - iy) * cell_px
+            # Run-length merge equal-colored cells along the row; runs in
+            # the background (zero) color are already painted.
+            ix = 0
+            while ix < nx:
+                color = ramp_color(util[ix][iy], quantize=True)
+                run = 1
+                while (
+                    ix + run < nx
+                    and ramp_color(util[ix + run][iy], quantize=True) == color
+                ):
+                    run += 1
+                if color != zero:
+                    body.append(
+                        f'<rect x="{px + ix * cell_px}" y="{ry}" '
+                        f'width="{run * cell_px}" height="{cell_px}" '
+                        f'fill="{color}"/>'
+                    )
+                ix += run
+        body.append(
+            f'<rect x="{px}" y="{gy}" width="{panel_w}" '
+            f'height="{panel_h}" fill="none" stroke="#333333"/>'
+        )
+    return _svg_document(width, height, body)
+
+
+def render_slack_histogram_svg(
+    slacks_ps: Sequence[float],
+    title: str = "endpoint slack",
+    nbins: int = 20,
+    width: int = 520,
+    height: int = 260,
+) -> str:
+    """Render the endpoint-slack distribution as an SVG bar chart."""
+    edges, counts = histogram_bins(slacks_ps, nbins)
+    peak = max(counts) if counts else 0
+    pad_l, pad_r, pad_t, pad_b = 46, 14, 34, 36
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    bar_w = plot_w / nbins
+
+    body = [
+        f'<text x="{pad_l}" y="22" {_FONT} font-size="14">'
+        f"{escape(title)} (n={len(slacks_ps)})</text>",
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" '
+        f'x2="{pad_l + plot_w}" y2="{pad_t + plot_h}" stroke="#333333"/>',
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
+        f'y2="{pad_t + plot_h}" stroke="#333333"/>',
+    ]
+    for i, count in enumerate(counts):
+        if count <= 0:
+            continue
+        bar_h = plot_h * count / peak
+        bx = pad_l + i * bar_w
+        by = pad_t + plot_h - bar_h
+        body.append(
+            f'<rect x="{bx:.1f}" y="{by:.1f}" width="{bar_w - 1:.1f}" '
+            f'height="{bar_h:.1f}" fill="#4878a8"/>'
+        )
+    body.append(
+        f'<text x="{pad_l}" y="{height - 10}" {_FONT} font-size="10">'
+        f"{edges[0]:.0f} ps</text>"
+    )
+    body.append(
+        f'<text x="{pad_l + plot_w - 60}" y="{height - 10}" {_FONT} '
+        f'font-size="10">{edges[-1]:.0f} ps</text>'
+    )
+    body.append(
+        f'<text x="6" y="{pad_t + 10}" {_FONT} font-size="10">'
+        f"{peak}</text>"
+    )
+    return _svg_document(width, height, body)
+
+
+def render_signoff_visuals(result) -> Dict[str, str]:
+    """Both signoff SVGs for one FlowResult, keyed by artifact suffix."""
+    return {
+        "congestion": render_congestion_svg(
+            congestion_layers(result.grid),
+            title=f"{result.flow} — per-layer routing utilization",
+        ),
+        "slack": render_slack_histogram_svg(
+            endpoint_slacks_ps(result.sta),
+            title=f"{result.flow} — endpoint slack at signoff",
+        ),
+    }

@@ -6,11 +6,15 @@ any Python — the interface a downstream user reaches for first.
 Commands::
 
     python -m repro run --flow macro3d --config small --scale 0.04
-    python -m repro run --flow macro3d --trace-out run.json
+    python -m repro run --flow macro3d --trace-out run.json --quiet
     python -m repro compare --config small --scale 0.03
     python -m repro table3 --config large
     python -m repro floorplans --config small
     python -m repro trace run.json
+    python -m repro bench list
+    python -m repro bench run --all --out bench_out/
+    python -m repro bench compare --out bench_out/
+    python -m repro bench report --out bench_out/
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.bench.baseline import DEFAULT_BASELINE_DIR
 from repro.core.macro3d import run_flow_macro3d
 from repro.flows.base import FlowOptions, FlowResult
 from repro.flows.compact2d import run_flow_c2d
@@ -76,10 +81,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         with open(args.trace_out, "w", encoding="utf-8") as handle:
             handle.write(trace.to_json())
-        print(f"trace written to {args.trace_out}")
+        if not args.quiet:
+            print(f"trace written to {args.trace_out}")
     else:
         result = runner(_config(args.config), scale=args.scale, **kwargs)
-    _print_result(result)
+    if not args.quiet:
+        _print_result(result)
     return 0
 
 
@@ -140,6 +147,109 @@ def cmd_floorplans(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- bench subcommands ---------------------------------------------------------------
+
+
+def _bench_scenarios(args: argparse.Namespace) -> List["Scenario"]:
+    from repro.bench import all_scenarios, get_scenario
+
+    if getattr(args, "scenario", None):
+        return [get_scenario(name) for name in args.scenario]
+    size = None if args.size == "all" else args.size
+    return all_scenarios(size=size)
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    from repro.bench import all_scenarios
+
+    print(f"{'scenario':<28s} {'flow':<8s} {'config':<11s} "
+          f"{'size':<7s} {'scale':>6s} {'sizing':>6s}")
+    for s in all_scenarios():
+        print(f"{s.name:<28s} {s.flow:<8s} {s.config:<11s} "
+              f"{s.size:<7s} {s.scale:>6g} {s.sizing_iterations:>6d}")
+    return 0
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import write_benchmark
+
+    if not args.all and not args.scenario:
+        raise SystemExit("bench run: pass --all or --scenario NAME")
+    scenarios = _bench_scenarios(args)
+    for scenario in scenarios:
+        if not args.quiet:
+            print(f"running {scenario.name} ...", flush=True)
+        artifact, paths = write_benchmark(
+            scenario, args.out, svg=not args.no_svg
+        )
+        if not args.quiet:
+            fclk = artifact.ppa.get("fclk_mhz", 0.0)
+            print(f"  {artifact.wall_s_total:7.1f} s  fclk {fclk:6.1f} MHz"
+                  f"  -> {paths[0]}")
+    if not args.quiet:
+        print(f"{len(scenarios)} artifact(s) written to {args.out}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_artifacts,
+        format_diff_table,
+        load_artifacts,
+        load_baseline,
+        worst_status,
+    )
+
+    artifacts = load_artifacts(args.out)
+    if not artifacts:
+        raise SystemExit(f"no BENCH_*.json artifacts found in {args.out!r}")
+    failed = False
+    compared = 0
+    for artifact in artifacts:
+        baseline = load_baseline(args.baseline, artifact.scenario)
+        if baseline is None:
+            print(f"== {artifact.scenario} ==")
+            print(f"no baseline in {args.baseline}; record one with "
+                  f"`bench run --scenario {artifact.scenario} "
+                  f"--out {args.baseline}`")
+            continue
+        deltas = compare_artifacts(
+            artifact, baseline, gate_time=not args.no_gate_time
+        )
+        print(format_diff_table(artifact.scenario, deltas))
+        print()
+        compared += 1
+        if worst_status(deltas) == "fail":
+            failed = True
+    print(f"compared {compared}/{len(artifacts)} artifact(s) against "
+          f"{args.baseline}: {'FAIL' if failed else 'ok'}")
+    return 1 if failed else 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import load_artifacts
+
+    artifacts = load_artifacts(args.out)
+    if not artifacts:
+        raise SystemExit(f"no BENCH_*.json artifacts found in {args.out!r}")
+    header = (f"{'scenario':<28s} {'wall s':>8s} {'rss MB':>8s} "
+              f"{'fclk MHz':>9s} {'WL m':>8s} {'F2F':>7s} {'µW':>9s}")
+    print(header)
+    print("-" * len(header))
+    for a in artifacts:
+        rss = (f"{a.peak_rss_kb / 1024.0:8.1f}"
+               if a.peak_rss_kb is not None else "     n/a")
+        print(f"{a.scenario:<28s} {a.wall_s_total:8.1f} {rss} "
+              f"{a.ppa.get('fclk_mhz', 0.0):9.1f} "
+              f"{a.ppa.get('total_wirelength_m', 0.0):8.2f} "
+              f"{a.ppa.get('f2f_bumps', 0.0):7.0f} "
+              f"{a.ppa.get('power_uw', 0.0):9.1f}")
+        if args.stages:
+            for stage in a.stages:
+                print(f"    {stage.name:<26s} {stage.wall_s:8.2f}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="macro-die metal layers for macro3d (6 or 4)")
     run_p.add_argument("--trace-out", metavar="PATH", default=None,
                        help="record a FlowTrace of the run to this JSON file")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress the summary dump (bench drivers still "
+                            "get --trace-out)")
     common(run_p)
     run_p.set_defaults(handler=cmd_run)
 
@@ -178,6 +291,54 @@ def build_parser() -> argparse.ArgumentParser:
     tr_p = sub.add_parser("trace", help="print a recorded FlowTrace JSON")
     tr_p.add_argument("path", help="path to a --trace-out JSON file")
     tr_p.set_defaults(handler=cmd_trace)
+
+    bench_p = sub.add_parser(
+        "bench", help="benchmark harness: run scenarios, gate regressions"
+    )
+    bench_sub = bench_p.add_subparsers(dest="bench_command", required=True)
+
+    bl_p = bench_sub.add_parser("list", help="print the scenario registry")
+    bl_p.set_defaults(handler=cmd_bench_list)
+
+    br_p = bench_sub.add_parser(
+        "run", help="run scenarios and write BENCH_*.json + signoff SVGs"
+    )
+    br_p.add_argument("--all", action="store_true",
+                      help="run every scenario of the selected size")
+    br_p.add_argument("--scenario", action="append", metavar="NAME",
+                      help="run one named scenario (repeatable)")
+    br_p.add_argument("--size", default="small",
+                      choices=["small", "medium", "all"],
+                      help="size tier selected by --all (default: small)")
+    br_p.add_argument("--out", default="bench_out",
+                      help="output directory (default: bench_out)")
+    br_p.add_argument("--no-svg", action="store_true",
+                      help="skip the congestion/slack SVG renders")
+    br_p.add_argument("--quiet", action="store_true",
+                      help="suppress per-scenario progress lines")
+    br_p.set_defaults(handler=cmd_bench_run)
+
+    bc_p = bench_sub.add_parser(
+        "compare", help="gate artifacts against the committed baselines"
+    )
+    bc_p.add_argument("--out", default="bench_out",
+                      help="directory holding fresh BENCH_*.json artifacts")
+    bc_p.add_argument("--baseline", default=DEFAULT_BASELINE_DIR,
+                      help="baseline directory "
+                           f"(default: {DEFAULT_BASELINE_DIR})")
+    bc_p.add_argument("--no-gate-time", action="store_true",
+                      help="demote wall-time/RSS failures to warnings "
+                           "(cross-machine comparisons)")
+    bc_p.set_defaults(handler=cmd_bench_compare)
+
+    bp_p = bench_sub.add_parser(
+        "report", help="summarize a directory of BENCH_*.json artifacts"
+    )
+    bp_p.add_argument("--out", default="bench_out",
+                      help="directory holding BENCH_*.json artifacts")
+    bp_p.add_argument("--stages", action="store_true",
+                      help="also print the per-stage wall-time breakdown")
+    bp_p.set_defaults(handler=cmd_bench_report)
     return parser
 
 

@@ -28,41 +28,86 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass
-from typing import Any, Dict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.obs import trace as _trace
+
+#: Retained-sample cap per histogram.  Beyond it the sample list is
+#: decimated 2:1 (keep every other) and the retention stride doubles —
+#: deterministic, so repeat runs report identical percentiles.
+SAMPLE_CAP = 4096
+
+#: The percentile summaries every histogram exports.
+PERCENTILES = (50.0, 95.0, 99.0)
 
 
 @dataclass
 class HistogramStats:
-    """Streaming summary of one observed distribution."""
+    """Streaming summary of one observed distribution.
+
+    Alongside count/sum/min/max it retains a deterministic, bounded
+    subsample of the raw values so p50/p95/p99 can be reported in traces
+    and bench artifacts without unbounded memory.
+    """
 
     count: int = 0
     total: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    samples: List[float] = field(default_factory=list, repr=False)
+    #: Keep every ``stride``-th observation (doubles on decimation).
+    stride: int = field(default=1, repr=False)
+    #: Percentiles carried over from a deserialized document, used when
+    #: no raw samples are available to recompute them.
+    loaded_percentiles: Optional[Dict[str, float]] = field(
+        default=None, repr=False
+    )
 
     def add(self, value: float) -> None:
+        if self.count % self.stride == 0:
+            self.samples.append(value)
+            if len(self.samples) > SAMPLE_CAP:
+                self.samples = self.samples[::2]
+                self.stride *= 2
         self.count += 1
         self.total += value
         if value < self.minimum:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        self.loaded_percentiles = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 if empty)."""
+        if not self.samples:
+            if self.loaded_percentiles is not None:
+                key = f"p{q:g}"
+                if key in self.loaded_percentiles:
+                    return self.loaded_percentiles[key]
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def percentiles(self) -> Dict[str, float]:
+        """The exported ``{"p50": .., "p95": .., "p99": ..}`` summary."""
+        return {f"p{q:g}": self.percentile(q) for q in PERCENTILES}
+
     def to_dict(self) -> Dict[str, float]:
-        return {
+        out = {
             "count": self.count,
             "total": self.total,
             "min": self.minimum if self.count else 0.0,
             "max": self.maximum if self.count else 0.0,
             "mean": self.mean,
         }
+        out.update(self.percentiles())
+        return out
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "HistogramStats":
@@ -73,6 +118,9 @@ class HistogramStats:
         if stats.count:
             stats.minimum = float(data.get("min", 0.0))
             stats.maximum = float(data.get("max", 0.0))
+        stats.loaded_percentiles = {
+            f"p{q:g}": float(data.get(f"p{q:g}", 0.0)) for q in PERCENTILES
+        }
         return stats
 
 

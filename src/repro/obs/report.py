@@ -127,10 +127,15 @@ def _format_spans(records: List[SpanRecord], total: float,
             f"{k}={v}" for k, v in sorted(record.attrs.items())
         )
         indent = "  " * depth
+        rss = (
+            f"rss {record.peak_rss_kb / 1024.0:7.1f} MB"
+            if record.peak_rss_kb is not None
+            else "rss       n/a"
+        )
         out.append(
             f"  {indent}{record.name:<{30 - 2 * depth}s}"
             f" {record.duration_s * 1e3:10.1f} ms {share:5.1f}%"
-            f"  rss {record.peak_rss_kb / 1024.0:7.1f} MB"
+            f"  {rss}"
             + (f"  [{attrs}]" if attrs else "")
         )
         _format_spans(record.children, total, depth + 1, out)
@@ -157,9 +162,12 @@ def format_trace(trace: FlowTrace) -> str:
     if trace.histograms:
         out.append("  histograms:")
         for name, stats in sorted(trace.histograms.items()):
+            pcts = stats.percentiles()
             out.append(
                 f"    {name:<28s} n={stats.count} mean={stats.mean:.3f}"
                 f" min={stats.minimum if stats.count else 0.0:.3f}"
                 f" max={stats.maximum if stats.count else 0.0:.3f}"
+                f" p50={pcts['p50']:.3f} p95={pcts['p95']:.3f}"
+                f" p99={pcts['p99']:.3f}"
             )
     return "\n".join(out)

@@ -37,11 +37,26 @@ except ImportError:  # pragma: no cover
     resource = None  # type: ignore[assignment]
 
 
-def _peak_rss_kb() -> int:
-    """Peak resident set size of the process, in kB (0 if unavailable)."""
-    if resource is None:  # pragma: no cover
-        return 0
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of the process, in kB.
+
+    Returns ``None`` (serialized as JSON ``null``) when no sampling
+    mechanism exists on this platform, so bench artifacts stay portable:
+    a missing measurement must not masquerade as "0 kB used".
+    """
+    if resource is not None:
+        try:
+            return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+    try:  # pragma: no cover - exercised only where resource is missing
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
 
 
 @dataclass
@@ -52,8 +67,9 @@ class SpanRecord:
     attrs: Dict[str, Any] = field(default_factory=dict)
     start_s: float = 0.0
     duration_s: float = 0.0
-    #: Process peak RSS observed at span exit, kB.
-    peak_rss_kb: int = 0
+    #: Process peak RSS observed at span exit, kB; ``None`` when the
+    #: platform offers no way to sample it (never a fake 0).
+    peak_rss_kb: Optional[int] = None
     children: List["SpanRecord"] = field(default_factory=list)
 
     def child(self, name: str) -> Optional["SpanRecord"]:
@@ -81,12 +97,13 @@ class SpanRecord:
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "SpanRecord":
+        rss = data.get("peak_rss_kb")
         return SpanRecord(
             name=data["name"],
             attrs=dict(data.get("attrs", {})),
             start_s=float(data.get("start_s", 0.0)),
             duration_s=float(data.get("duration_s", 0.0)),
-            peak_rss_kb=int(data.get("peak_rss_kb", 0)),
+            peak_rss_kb=None if rss is None else int(rss),
             children=[
                 SpanRecord.from_dict(c) for c in data.get("children", [])
             ],

@@ -217,6 +217,94 @@ class TestFlowTraceSchema:
         assert stats.mean == 0.0
 
 
+class TestHistogramPercentiles:
+    def test_percentiles_exact_when_under_cap(self):
+        stats = HistogramStats()
+        for v in range(1, 101):  # 1..100
+            stats.add(float(v))
+        assert stats.percentile(50.0) == 50.0
+        assert stats.percentile(95.0) == 95.0
+        assert stats.percentile(99.0) == 99.0
+        assert stats.percentiles() == {
+            "p50": 50.0, "p95": 95.0, "p99": 99.0
+        }
+
+    def test_decimation_bounds_memory_and_stays_close(self):
+        from repro.obs.metrics import SAMPLE_CAP
+
+        stats = HistogramStats()
+        n = SAMPLE_CAP * 4
+        for v in range(n):
+            stats.add(float(v))
+        assert len(stats.samples) <= SAMPLE_CAP
+        assert stats.count == n
+        # Decimated percentiles stay within one stride of the truth.
+        assert stats.percentile(50.0) == pytest.approx(n / 2, rel=0.01)
+        assert stats.percentile(99.0) == pytest.approx(n * 0.99, rel=0.01)
+
+    def test_percentiles_serialize_and_survive_round_trip(self):
+        stats = HistogramStats()
+        for v in (1.0, 2.0, 3.0, 10.0):
+            stats.add(v)
+        data = stats.to_dict()
+        assert data["p50"] == 2.0
+        assert data["p99"] == 10.0
+        loaded = HistogramStats.from_dict(data)
+        # No raw samples on the loaded side: percentiles come from the
+        # serialized summary, and re-serialization is byte-identical.
+        assert loaded.samples == []
+        assert loaded.percentile(50.0) == 2.0
+        assert loaded.to_dict() == data
+
+    def test_empty_percentiles_are_zero(self):
+        stats = HistogramStats()
+        assert stats.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_format_trace_shows_percentiles(self):
+        with recording() as rec:
+            for v in range(10):
+                observe("disp", float(v))
+        trace = FlowTrace.from_recorder(rec, flow="2D", design="tile")
+        text = format_trace(trace)
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+
+class TestPeakRssPortability:
+    def test_unavailable_rss_records_null(self, monkeypatch):
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "_peak_rss_kb", lambda: None)
+        with recording() as rec:
+            with span("stage"):
+                pass
+        record = rec.roots[0]
+        assert record.peak_rss_kb is None
+        # Serializes as JSON null, never a fake 0, and round-trips.
+        trace = FlowTrace.from_recorder(rec, flow="2D", design="tile")
+        data = json.loads(trace.to_json())
+        assert data["spans"][0]["peak_rss_kb"] is None
+        again = FlowTrace.from_json(trace.to_json())
+        assert again.spans[0].peak_rss_kb is None
+
+    def test_format_trace_handles_null_rss(self, monkeypatch):
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(trace_mod, "_peak_rss_kb", lambda: None)
+        with recording() as rec:
+            with span("stage"):
+                pass
+        text = format_trace(
+            FlowTrace.from_recorder(rec, flow="2D", design="tile")
+        )
+        assert "n/a" in text
+
+    def test_rss_sampled_on_this_platform(self):
+        from repro.obs.trace import _peak_rss_kb
+
+        value = _peak_rss_kb()
+        assert value is None or value > 0
+
+
 #: Acceptance criterion: every flow trace reports at least this many
 #: named stage spans and distinct counters.
 MIN_STAGE_SPANS = 6

@@ -18,6 +18,8 @@ from repro.bench.artifact import (
     artifact_filename,
     load_artifact,
     ppa_block,
+    qor_dict,
+    qor_json,
 )
 from repro.bench.baseline import (
     DEFAULT_BASELINE_DIR,
@@ -30,16 +32,22 @@ from repro.bench.baseline import (
     worst_status,
 )
 from repro.bench.runner import (
+    SCHEDULE_FILENAME,
     discover_artifacts,
     load_artifacts,
+    run_benchmarks,
     run_scenario,
+    scenarios_overlapped,
     write_benchmark,
+    write_schedule,
 )
 from repro.bench.scenarios import (
     SIZES,
     Scenario,
     all_scenarios,
     get_scenario,
+    register_scenario,
+    unregister_scenario,
 )
 from repro.bench.svg import (
     congestion_layers,
@@ -58,6 +66,7 @@ __all__ = [
     "DEFAULT_SPECS",
     "MetricDelta",
     "MetricSpec",
+    "SCHEDULE_FILENAME",
     "SIZES",
     "Scenario",
     "StageTiming",
@@ -74,11 +83,18 @@ __all__ = [
     "load_artifacts",
     "load_baseline",
     "ppa_block",
+    "qor_dict",
+    "qor_json",
     "ramp_color",
+    "register_scenario",
     "render_congestion_svg",
     "render_signoff_visuals",
     "render_slack_histogram_svg",
+    "run_benchmarks",
     "run_scenario",
+    "scenarios_overlapped",
+    "unregister_scenario",
     "worst_status",
     "write_benchmark",
+    "write_schedule",
 ]

@@ -235,6 +235,27 @@ def ppa_block(summary: PPASummary) -> Dict[str, float]:
     return {name: float(getattr(summary, name)) for name in PPA_FIELDS}
 
 
+def qor_dict(artifact: BenchArtifact) -> Dict[str, Any]:
+    """The artifact minus everything machine- or run-dependent.
+
+    Scenario runs are deterministic, so two runs of the same scenario —
+    serial or parallel, on any machine — must agree on this view
+    byte-for-byte.  Only wall times, RSS samples, and the informational
+    ``meta`` stamps are allowed to differ.
+    """
+    data = artifact.to_dict()
+    data.pop("wall_s_total", None)
+    data.pop("peak_rss_kb", None)
+    data.pop("meta", None)
+    data["stages"] = [{"name": s["name"]} for s in data.get("stages", [])]
+    return data
+
+
+def qor_json(artifact: BenchArtifact) -> str:
+    """Canonical JSON of :func:`qor_dict` for byte-level comparison."""
+    return json.dumps(qor_dict(artifact), indent=2, sort_keys=True) + "\n"
+
+
 def artifact_filename(scenario_name: str) -> str:
     return f"BENCH_{scenario_name}.json"
 

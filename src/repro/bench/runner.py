@@ -4,23 +4,40 @@
 recording and returns the in-memory results; ``write_benchmark`` adds
 the on-disk products: the ``BENCH_<scenario>.json`` artifact plus the
 two QoR signoff SVGs next to it (``BENCH_<scenario>.congestion.svg``,
-``BENCH_<scenario>.slack.svg``).
+``BENCH_<scenario>.slack.svg``) and, with ``profile=True``, the
+cProfile report ``BENCH_<scenario>.profile.txt``.
+
+``run_benchmarks`` drives a whole scenario list, optionally across a
+process pool (``jobs > 1``).  Scenarios are deterministic and fully
+independent, so parallel runs produce byte-identical QoR artifacts —
+only wall times and RSS samples may differ.  Every run also writes
+``BENCH_schedule.json``: per-scenario start/end stamps on the shared
+monotonic clock, which is how a parallel run *demonstrates* overlap
+even on a single-core host (interleaved intervals, not wall-clock
+speedup, are the evidence).
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
-from typing import Dict, List, Tuple
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bench.artifact import (
     BenchArtifact,
     artifact_filename,
     load_artifact,
 )
-from repro.bench.scenarios import Scenario
+from repro.bench.scenarios import Scenario, get_scenario
 from repro.bench.svg import render_signoff_visuals
 from repro.flows.base import FlowResult
-from repro.obs import FlowTrace, recording
+from repro.obs import FlowTrace, profile_call, recording
+
+#: Filename of the per-run schedule record (skipped by artifact discovery).
+SCHEDULE_FILENAME = "BENCH_schedule.json"
 
 
 def run_scenario(
@@ -48,18 +65,34 @@ def write_benchmark(
     scenario: Scenario,
     out_dir: str,
     svg: bool = True,
+    profile: bool = False,
 ) -> Tuple[BenchArtifact, List[str]]:
     """Run a scenario and write its artifact (+ visuals) into ``out_dir``.
 
     Returns the artifact and the list of files written, artifact first.
+    ``profile=True`` additionally runs the scenario under cProfile and
+    writes the cumulative-time report next to the artifact.
     """
-    artifact, result, _trace = run_scenario(scenario)
+    if profile:
+        (artifact, result, _trace), report = profile_call(
+            run_scenario, scenario
+        )
+    else:
+        artifact, result, _trace = run_scenario(scenario)
+        report = None
     os.makedirs(out_dir, exist_ok=True)
     paths: List[str] = []
     artifact_path = os.path.join(out_dir, artifact_filename(scenario.name))
     with open(artifact_path, "w", encoding="utf-8") as handle:
         handle.write(artifact.to_json())
     paths.append(artifact_path)
+    if report is not None:
+        profile_path = os.path.join(
+            out_dir, f"BENCH_{scenario.name}.profile.txt"
+        )
+        with open(profile_path, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        paths.append(profile_path)
     if svg:
         visuals: Dict[str, str] = render_signoff_visuals(result)
         for suffix, document in sorted(visuals.items()):
@@ -72,6 +105,126 @@ def write_benchmark(
     return artifact, paths
 
 
+# -- parallel execution ---------------------------------------------------------------
+
+
+def _bench_worker(
+    name: str, out_dir: str, svg: bool, profile: bool
+) -> Tuple[str, BenchArtifact, List[str], float, float]:
+    """Top-level (picklable) pool entry: run one scenario by name.
+
+    Workers are forked, so scenarios registered at runtime via
+    ``register_scenario`` are visible here too.  Start/end stamps come
+    from the shared monotonic clock and are comparable across the pool.
+    """
+    start = time.monotonic()
+    artifact, paths = write_benchmark(
+        get_scenario(name), out_dir, svg=svg, profile=profile
+    )
+    return name, artifact, paths, start, time.monotonic()
+
+
+def _schedule_dict(
+    jobs: int, rows: List[Tuple[str, float, float]]
+) -> Dict[str, Any]:
+    t0 = min(start for _name, start, _end in rows) if rows else 0.0
+    return {
+        "jobs": jobs,
+        "scenarios": [
+            {
+                "name": name,
+                "start_s": round(start - t0, 6),
+                "end_s": round(end - t0, 6),
+            }
+            for name, start, end in rows
+        ],
+    }
+
+
+def write_schedule(out_dir: str, schedule: Dict[str, Any]) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, SCHEDULE_FILENAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(schedule, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_benchmarks(
+    scenarios: List[Scenario],
+    out_dir: str,
+    svg: bool = True,
+    jobs: int = 1,
+    profile: bool = False,
+    on_done: Optional[Callable[[Scenario, BenchArtifact, List[str]], None]] = None,
+) -> Tuple[List[Tuple[Scenario, BenchArtifact, List[str]]], Dict[str, Any]]:
+    """Run scenarios, optionally ``jobs``-wide across processes.
+
+    Returns (per-scenario results in input order, the schedule dict);
+    the schedule is also written to ``BENCH_schedule.json`` in
+    ``out_dir``.  ``on_done`` fires as each scenario finishes — in
+    completion order when parallel.
+    """
+    by_name = {scenario.name: scenario for scenario in scenarios}
+    artifacts: Dict[str, Tuple[BenchArtifact, List[str]]] = {}
+    rows: List[Tuple[str, float, float]] = []
+    if jobs <= 1 or len(scenarios) <= 1:
+        for scenario in scenarios:
+            start = time.monotonic()
+            artifact, paths = write_benchmark(
+                scenario, out_dir, svg=svg, profile=profile
+            )
+            rows.append((scenario.name, start, time.monotonic()))
+            artifacts[scenario.name] = (artifact, paths)
+            if on_done is not None:
+                on_done(scenario, artifact, paths)
+    else:
+        # Fork keeps runtime-registered scenarios visible to workers; on
+        # platforms without fork the default (spawn) still covers the
+        # built-in registry.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(scenarios)), mp_context=context
+        ) as pool:
+            pending = {
+                pool.submit(
+                    _bench_worker, scenario.name, out_dir, svg, profile
+                )
+                for scenario in scenarios
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name, artifact, paths, start, end = future.result()
+                    rows.append((name, start, end))
+                    artifacts[name] = (artifact, paths)
+                    if on_done is not None:
+                        on_done(by_name[name], artifact, paths)
+    rows.sort(key=lambda row: row[1])
+    schedule = _schedule_dict(jobs, rows)
+    write_schedule(out_dir, schedule)
+    results = [
+        (scenario, *artifacts[scenario.name]) for scenario in scenarios
+    ]
+    return results, schedule
+
+
+def scenarios_overlapped(schedule: Dict[str, Any]) -> bool:
+    """True when any two scenario intervals in a schedule overlap."""
+    spans = [
+        (entry["start_s"], entry["end_s"])
+        for entry in schedule.get("scenarios", [])
+    ]
+    spans.sort()
+    return any(
+        second_start < first_end
+        for (_s0, first_end), (second_start, _e1) in zip(spans, spans[1:])
+    )
+
+
 def discover_artifacts(out_dir: str) -> List[str]:
     """All ``BENCH_*.json`` files in a directory, sorted by name."""
     if not os.path.isdir(out_dir):
@@ -79,7 +232,9 @@ def discover_artifacts(out_dir: str) -> List[str]:
     return sorted(
         os.path.join(out_dir, name)
         for name in os.listdir(out_dir)
-        if name.startswith("BENCH_") and name.endswith(".json")
+        if name.startswith("BENCH_")
+        and name.endswith(".json")
+        and name != SCHEDULE_FILENAME
     )
 
 

@@ -96,6 +96,26 @@ def _build_registry() -> Dict[str, Scenario]:
 _REGISTRY = _build_registry()
 
 
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (tests, ad-hoc sweeps).
+
+    Registered scenarios are addressable by name everywhere built-ins
+    are — ``get_scenario``, ``bench run --scenario`` and the parallel
+    runner's worker processes (which inherit the registry via fork).
+    ``size`` may be any label; it only acts as an ``all_scenarios``
+    filter when it matches a built-in tier.
+    """
+    if scenario.name in _REGISTRY and not replace:
+        raise KeyError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a ``register_scenario`` entry (test teardown)."""
+    _REGISTRY.pop(name, None)
+
+
 def all_scenarios(size: Optional[str] = None) -> List[Scenario]:
     """Registered scenarios, optionally filtered to one size tier."""
     if size is not None and size not in SIZES:

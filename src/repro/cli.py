@@ -7,12 +7,14 @@ Commands::
 
     python -m repro run --flow macro3d --config small --scale 0.04
     python -m repro run --flow macro3d --trace-out run.json --quiet
+    python -m repro run --flow macro3d --profile
     python -m repro compare --config small --scale 0.03
     python -m repro table3 --config large
     python -m repro floorplans --config small
     python -m repro trace run.json
     python -m repro bench list
     python -m repro bench run --all --out bench_out/
+    python -m repro bench run --all --jobs 2 --profile
     python -m repro bench compare --out bench_out/
     python -m repro bench report --out bench_out/
 """
@@ -67,15 +69,31 @@ def _print_result(result: FlowResult) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.obs import profile_call
+
     runner = _FLOWS[args.flow]
     kwargs = {}
     if args.flow == "s2d" and args.balanced:
         kwargs["balanced"] = True
     if args.flow == "macro3d" and args.macro_metals != 6:
         kwargs["macro_tech"] = hk28_macro_die(args.macro_metals)
+
+    def execute() -> FlowResult:
+        if args.profile:
+            result, report = profile_call(
+                runner, _config(args.config), scale=args.scale, **kwargs
+            )
+            profile_out = (args.trace_out or "run") + ".profile.txt"
+            with open(profile_out, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            if not args.quiet:
+                print(f"profile written to {profile_out}")
+            return result
+        return runner(_config(args.config), scale=args.scale, **kwargs)
+
     if args.trace_out:
         with recording() as recorder:
-            result = runner(_config(args.config), scale=args.scale, **kwargs)
+            result = execute()
         trace = FlowTrace.from_recorder(
             recorder, flow=result.flow, design=result.design
         )
@@ -84,7 +102,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not args.quiet:
             print(f"trace written to {args.trace_out}")
     else:
-        result = runner(_config(args.config), scale=args.scale, **kwargs)
+        result = execute()
     if not args.quiet:
         _print_result(result)
     return 0
@@ -171,22 +189,37 @@ def cmd_bench_list(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_run(args: argparse.Namespace) -> int:
-    from repro.bench import write_benchmark
+    from repro.bench import run_benchmarks, scenarios_overlapped
 
     if not args.all and not args.scenario:
         raise SystemExit("bench run: pass --all or --scenario NAME")
+    if args.jobs < 1:
+        raise SystemExit("bench run: --jobs must be >= 1")
     scenarios = _bench_scenarios(args)
-    for scenario in scenarios:
-        if not args.quiet:
+    if not args.quiet:
+        for scenario in scenarios:
             print(f"running {scenario.name} ...", flush=True)
-        artifact, paths = write_benchmark(
-            scenario, args.out, svg=not args.no_svg
-        )
+
+    def report(scenario, artifact, paths) -> None:
         if not args.quiet:
             fclk = artifact.ppa.get("fclk_mhz", 0.0)
-            print(f"  {artifact.wall_s_total:7.1f} s  fclk {fclk:6.1f} MHz"
-                  f"  -> {paths[0]}")
+            print(f"  {scenario.name}: {artifact.wall_s_total:7.1f} s"
+                  f"  fclk {fclk:6.1f} MHz  -> {paths[0]}", flush=True)
+
+    _results, schedule = run_benchmarks(
+        scenarios,
+        args.out,
+        svg=not args.no_svg,
+        jobs=args.jobs,
+        profile=args.profile,
+        on_done=report,
+    )
     if not args.quiet:
+        if args.jobs > 1:
+            overlap = ("overlapped" if scenarios_overlapped(schedule)
+                       else "did not overlap")
+            print(f"jobs={args.jobs}: scenario intervals {overlap} "
+                  f"(see BENCH_schedule.json)")
         print(f"{len(scenarios)} artifact(s) written to {args.out}")
     return 0
 
@@ -270,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="macro-die metal layers for macro3d (6 or 4)")
     run_p.add_argument("--trace-out", metavar="PATH", default=None,
                        help="record a FlowTrace of the run to this JSON file")
+    run_p.add_argument("--profile", action="store_true",
+                       help="run under cProfile and write the top-25 "
+                            "cumulative report next to the trace")
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress the summary dump (bench drivers still "
                             "get --trace-out)")
@@ -312,6 +348,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="size tier selected by --all (default: small)")
     br_p.add_argument("--out", default="bench_out",
                       help="output directory (default: bench_out)")
+    br_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="run up to N scenarios in parallel processes; "
+                           "QoR artifacts are byte-identical to --jobs 1 "
+                           "(default: 1)")
+    br_p.add_argument("--profile", action="store_true",
+                      help="also write BENCH_<scenario>.profile.txt "
+                           "cProfile reports")
     br_p.add_argument("--no-svg", action="store_true",
                       help="skip the congestion/slack SVG renders")
     br_p.add_argument("--quiet", action="store_true",

@@ -2,10 +2,20 @@
 
 - :mod:`repro.netlist.core` — instances, nets, ports, the ``Netlist``.
 - :mod:`repro.netlist.generator` — Rent's-rule logic clouds and pipelines.
+- :mod:`repro.netlist.index` — flat net-geometry arrays for hot kernels.
 - :mod:`repro.netlist.openpiton` — the OpenPiton tile used by the case study.
 - :mod:`repro.netlist.verilog` — structural Verilog writer/reader.
 """
 
 from repro.netlist.core import Instance, Net, Netlist, Port, PortConstraint, Term
+from repro.netlist.index import NetGeometryIndex
 
-__all__ = ["Instance", "Net", "Netlist", "Port", "PortConstraint", "Term"]
+__all__ = [
+    "Instance",
+    "Net",
+    "NetGeometryIndex",
+    "Netlist",
+    "Port",
+    "PortConstraint",
+    "Term",
+]

@@ -38,6 +38,7 @@ from repro.obs.report import (
     format_trace,
     load_trace,
 )
+from repro.obs.profile import profile_call
 
 __all__ = [
     "FLOWTRACE_SCHEMA",
@@ -54,6 +55,7 @@ __all__ = [
     "gauge",
     "load_trace",
     "observe",
+    "profile_call",
     "recording",
     "span",
 ]

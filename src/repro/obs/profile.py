@@ -1,0 +1,36 @@
+"""Opt-in cProfile capture for flow runs.
+
+``python -m repro run --profile`` and ``bench run --profile`` wrap the
+flow in :func:`profile_call` and write the rendered top-of-the-profile
+next to the trace or artifact — the first thing to reach for when a
+stage's wall time regresses.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from typing import Any, Callable, Tuple
+
+#: Rows of the cumulative-time table kept in the report.
+PROFILE_TOP = 25
+
+
+def profile_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, str]:
+    """Run ``fn`` under cProfile; return (result, rendered report).
+
+    The report is the ``pstats`` cumulative-time table truncated to the
+    top :data:`PROFILE_TOP` entries — compact enough to commit or paste,
+    detailed enough to name the hot call paths.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(PROFILE_TOP)
+    return result, buffer.getvalue()

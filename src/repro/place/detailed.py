@@ -55,6 +55,86 @@ def _nets_hpwl(placement: Placement, nets: Sequence[Net]) -> float:
     return sum(placement.net_hpwl(net) for net in nets)
 
 
+class _FastHpwl:
+    """Per-net HPWL over the flat geometry index's Python term tuples.
+
+    Swap evaluation reads a handful of nets thousands of times while the
+    coordinates mutate in place — a vector gather per probe would cost
+    more than it saves.  These loops produce the same doubles as the
+    scalar ``net_hpwl`` walk (same gathers, same max/min/sum order)
+    without the per-term isinstance/dict/Point overhead.
+    """
+
+    def __init__(self, placement: Placement):
+        self.x = placement.x
+        self.y = placement.y
+        self.terms = placement.geometry().net_terms_py()
+
+    def net_hpwl(self, net_id: int) -> float:
+        terms = self.terms[net_id]
+        if len(terms) < 2:
+            return 0.0
+        x = self.x
+        y = self.y
+        xlo = xhi = ylo = yhi = None
+        for iid, ax, ay, bx, by in terms:
+            if iid < 0:
+                px, py = ax, ay
+            elif ax != 0.0:
+                px = (x[iid] + ax) + bx
+                py = (y[iid] + ay) + by
+            else:
+                px = x[iid]
+                py = y[iid]
+            if xlo is None:
+                xlo = xhi = px
+                ylo = yhi = py
+            else:
+                if px < xlo:
+                    xlo = px
+                elif px > xhi:
+                    xhi = px
+                if py < ylo:
+                    ylo = py
+                elif py > yhi:
+                    yhi = py
+        return (xhi - xlo) + (yhi - ylo)
+
+    def nets_hpwl(self, net_ids: Sequence[int]) -> float:
+        total = 0.0
+        for net_id in net_ids:
+            total += self.net_hpwl(net_id)
+        return total
+
+    def centroid_sums(
+        self, net_ids: Sequence[int], skip_iid: int
+    ) -> Tuple[float, float, int]:
+        """Sequential sums of all term positions except ``skip_iid``'s.
+
+        Mirrors the stretch-ranking walk of the scalar reference: terms
+        in net order, positions accumulated left to right.
+        """
+        x = self.x
+        y = self.y
+        sx = sy = 0.0
+        n = 0
+        for net_id in net_ids:
+            for iid, ax, ay, bx, by in self.terms[net_id]:
+                if iid == skip_iid:
+                    continue
+                if iid < 0:
+                    sx += ax
+                    sy += ay
+                elif ax != 0.0:
+                    sx += (x[iid] + ax) + bx
+                    sy += (y[iid] + ay) + by
+                else:
+                    sx += x[iid]
+                    sy += y[iid]
+                n += 1
+        return sx, sy, n
+
+
 def refine_placement(
     placement: Placement,
     passes: int = 4,
@@ -72,6 +152,12 @@ def refine_placement(
 
     hpwl_before = placement.total_hpwl()
     swaps = 0
+    fast = _FastHpwl(placement)
+    # Per-cell eligible net ids, computed once — connectivity is static.
+    cell_net_ids: Dict[int, List[int]] = {
+        inst.id: [net.id for net in _cell_nets(inst, max_degree)]
+        for inst in movable
+    }
 
     for _sweep in range(passes):
         # Spatial buckets for partner lookup.
@@ -88,20 +174,10 @@ def refine_placement(
         # Stretch ranking.
         stretched: List[Tuple[float, Instance, float, float]] = []
         for inst in movable:
-            nets = _cell_nets(inst, max_degree)
-            if not nets:
+            net_ids = cell_net_ids[inst.id]
+            if not net_ids:
                 continue
-            sx = sy = 0.0
-            count = 0
-            for net in nets:
-                for term in net.terms:
-                    obj, _pin = term
-                    if obj is inst:
-                        continue
-                    point = placement.term_position(term)
-                    sx += point.x
-                    sy += point.y
-                    count += 1
+            sx, sy, count = fast.centroid_sums(net_ids, inst.id)
             if count == 0:
                 continue
             cx, cy = sx / count, sy / count
@@ -135,19 +211,17 @@ def refine_placement(
                         candidates.append((d, cand))
             candidates.sort(key=lambda item: item[0])
             for _d, partner in candidates[:8]:
-                nets = list(
-                    {
-                        net.name: net
-                        for net in _cell_nets(inst, max_degree)
-                        + _cell_nets(partner, max_degree)
-                    }.values()
-                )
-                before = _nets_hpwl(placement, nets)
+                # Union of both cells' nets, first-seen order (dict-keyed
+                # by name in the reference — ids are equivalent keys).
+                net_ids = list(dict.fromkeys(
+                    cell_net_ids[inst.id] + cell_net_ids[partner.id]
+                ))
+                before = fast.nets_hpwl(net_ids)
                 ix, iy = placement.x[inst.id], placement.y[inst.id]
                 px, py = placement.x[partner.id], placement.y[partner.id]
                 placement.x[inst.id], placement.y[inst.id] = px, py
                 placement.x[partner.id], placement.y[partner.id] = ix, iy
-                after = _nets_hpwl(placement, nets)
+                after = fast.nets_hpwl(net_ids)
                 if after < before - 1e-9:
                     swaps += 1
                     moved_this_pass += 1

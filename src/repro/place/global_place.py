@@ -18,6 +18,7 @@ overlaps in the paper's experiments with commercial tools.
 
 from __future__ import annotations
 
+import inspect
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -30,8 +31,30 @@ from repro.cells.macro import Macro
 from repro.floorplan.floorplan import Floorplan
 from repro.geom import Point, Rect
 from repro.netlist.core import Instance, Net, Netlist, Port
+from repro.netlist.index import NetGeometryIndex
 from repro.obs import active_recorder, count, gauge
 from repro.place.capacity import CapacityGrid
+
+# scipy renamed ``cg``'s convergence keyword from ``tol`` to ``rtol`` in
+# 1.12 and dropped the old spelling in 1.14; resolve the supported name
+# once so the placer runs across that range.
+_CG_TOL_KW = (
+    "rtol" if "rtol" in inspect.signature(spla.cg).parameters else "tol"
+)
+
+
+def _cg(
+    mat: sp.csr_matrix,
+    rhs: np.ndarray,
+    x0: np.ndarray,
+    tol: float,
+    maxiter: int,
+    callback,
+) -> Tuple[np.ndarray, int]:
+    return spla.cg(
+        mat, rhs, x0=x0, maxiter=maxiter, callback=callback,
+        **{_CG_TOL_KW: tol},
+    )
 
 
 @dataclass(frozen=True)
@@ -90,6 +113,22 @@ class Placement:
                 self.movable[inst.id] = False
             elif inst.fixed and inst.is_macro:
                 raise ValueError(f"macro {inst.name} has no floorplan location")
+        self._geometry: Optional[NetGeometryIndex] = None
+
+    def geometry(self) -> NetGeometryIndex:
+        """The flat net-geometry index of this design, built lazily.
+
+        Shared by :meth:`copy` clones — the index depends only on the
+        netlist, the floorplan's macro rects, and the port map, all of
+        which the clones share.
+        """
+        if self._geometry is None:
+            self._geometry = NetGeometryIndex.build(
+                self.netlist,
+                self.floorplan.macro_placements,
+                self.port_locations,
+            )
+        return self._geometry
 
     # -- pin positions --------------------------------------------------------------
 
@@ -136,6 +175,10 @@ class Placement:
         return (max(xs) - min(xs)) + (max(ys) - min(ys))
 
     def total_hpwl(self, include_clock: bool = False) -> float:
+        return self.geometry().total_hpwl(self.x, self.y, include_clock)
+
+    def total_hpwl_reference(self, include_clock: bool = False) -> float:
+        """Scalar per-net walk; the bit-exact oracle for the index kernel."""
         total = 0.0
         for net in self.netlist.nets:
             if net.is_clock and not include_clock:
@@ -151,6 +194,7 @@ class Placement:
         clone.x = self.x.copy()
         clone.y = self.y.copy()
         clone.movable = self.movable.copy()
+        clone._geometry = self._geometry
         return clone
 
 
@@ -158,7 +202,12 @@ class Placement:
 
 
 class _Connectivity:
-    """Sparse quadratic model: movable-movable edges and movable-fixed pulls."""
+    """Sparse quadratic model: movable-movable edges and movable-fixed pulls.
+
+    The off-diagonal COO triplets are immutable after construction, so
+    :meth:`matrix` builds their CSR form once and reuses it across the
+    solve loop — only the diagonal varies per iteration.
+    """
 
     def __init__(self, num_movable: int):
         self.n = num_movable
@@ -168,6 +217,7 @@ class _Connectivity:
         self.diag = np.zeros(num_movable)
         self.bx = np.zeros(num_movable)
         self.by = np.zeros(num_movable)
+        self._offdiag: Optional[sp.csr_matrix] = None
 
     def add_pair(self, i: int, j: int, w: float) -> None:
         self.rows.append(i)
@@ -185,26 +235,26 @@ class _Connectivity:
         self.by[i] += w * fy
 
     def matrix(self, extra_diag: np.ndarray) -> sp.csr_matrix:
-        mat = sp.coo_matrix(
-            (self.vals, (self.rows, self.cols)), shape=(self.n, self.n)
-        ).tocsr()
-        mat = mat + sp.diags(self.diag + extra_diag)
-        return mat
+        if self._offdiag is None:
+            self._offdiag = sp.coo_matrix(
+                (self.vals, (self.rows, self.cols)), shape=(self.n, self.n)
+            ).tocsr()
+        return self._offdiag + sp.diags(self.diag + extra_diag)
 
 
-def _build_connectivity(
+#: A star net: (movable pin indices in term order, weight).
+StarNet = Tuple[np.ndarray, float]
+
+
+def _build_connectivity_reference(
     netlist: Netlist,
     placement: Placement,
     movable_index: Dict[int, int],
     options: GlobalPlacerOptions,
-) -> Tuple[_Connectivity, List[Tuple[List[int], float]]]:
-    """Build the quadratic model.
-
-    Returns the connectivity plus the list of star nets as (movable pin
-    indices, weight); their centroid pulls are refreshed every iteration.
-    """
+) -> Tuple[_Connectivity, List[StarNet]]:
+    """Scalar quadratic-model builder: the bit-exact oracle for tests."""
     conn = _Connectivity(len(movable_index))
-    star_nets: List[Tuple[List[int], float]] = []
+    star_nets: List[StarNet] = []
     for net in netlist.nets:
         if net.is_clock or net.degree < 2 or net.degree > options.ignore_degree:
             continue
@@ -233,8 +283,236 @@ def _build_connectivity(
                 fy = sum(p.y for p in fixed) / len(fixed)
                 for i in movers:
                     conn.add_fixed(i, fx, fy, w)
-            star_nets.append((movers, w))
+            star_nets.append((np.array(movers, dtype=np.int64), w))
     return conn, star_nets
+
+
+def _exclusive_cumsum(counts: np.ndarray) -> np.ndarray:
+    out = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def _build_connectivity(
+    netlist: Netlist,
+    placement: Placement,
+    movable_index: Dict[int, int],
+    options: GlobalPlacerOptions,
+) -> Tuple[_Connectivity, List[StarNet]]:
+    """Build the quadratic model from the flat net-geometry index.
+
+    Returns the connectivity plus the list of star nets as (movable pin
+    indices, weight); their centroid pulls are refreshed every iteration.
+
+    This is an array re-expression of :func:`_build_connectivity_reference`
+    that must match it bit-for-bit: COO triplets are emitted in the exact
+    append order of the scalar pair loops (so the duplicate-summing
+    ``tocsr`` sees the same sequence), and the diagonal/rhs accumulators
+    are filled with ``np.add.at`` streams ordered net-by-net — floating-
+    point accumulation order is part of the QoR baseline contract.
+    """
+    conn = _Connectivity(len(movable_index))
+    geo = placement.geometry()
+    num_nets = geo.num_nets
+    if num_nets == 0:
+        return conn, []
+
+    n_inst = placement.movable.size
+    mov_rank = np.full(n_inst, -1, dtype=np.int64)
+    for inst_id, k in movable_index.items():
+        mov_rank[inst_id] = k
+
+    ti = geo.term_inst
+    safe = np.where(ti >= 0, ti, 0)
+    movable_term = (ti >= 0) & placement.movable[safe]
+    t_net = geo.term_net
+    deg = geo.net_degree
+    nm = np.bincount(t_net[movable_term], minlength=num_nets)
+
+    eligible = (
+        (~geo.net_is_clock)
+        & (deg >= 2)
+        & (deg <= options.ignore_degree)
+        & (nm > 0)
+    )
+    if not eligible.any():
+        return conn, []
+
+    px, py = geo.term_xy(placement.x, placement.y)
+
+    # Streams over the eligible nets, in net order.
+    e_ids = np.flatnonzero(eligible)
+    e_clique = (deg[e_ids] <= options.clique_max_degree)
+    e_nm = nm[e_ids]
+    e_nf = (deg - nm)[e_ids]
+    e_w = np.where(e_clique, 2.0 / deg[e_ids], 4.0 / deg[e_ids])
+
+    elig_term = eligible[t_net]
+    mterm = np.flatnonzero(movable_term & elig_term)
+    mrank = mov_rank[ti[mterm]]
+    moff = _exclusive_cumsum(e_nm)
+    fterm = np.flatnonzero((~movable_term) & elig_term)
+    fpx = px[fterm]
+    fpy = py[fterm]
+    foff = _exclusive_cumsum(e_nf)
+
+    # Per-net entry counts -> destination offsets restoring net order.
+    pair_cnt = np.where(e_clique, e_nm * (e_nm - 1), 0)
+    star_fix = (~e_clique) & (e_nf > 0)
+    diag_cnt = np.where(
+        e_clique, e_nm * (e_nm - 1) + e_nm * e_nf, np.where(star_fix, e_nm, 0)
+    )
+    b_cnt = np.where(e_clique, e_nm * e_nf, np.where(star_fix, e_nm, 0))
+    pair_off = _exclusive_cumsum(pair_cnt)
+    diag_off = _exclusive_cumsum(diag_cnt)
+    b_off = _exclusive_cumsum(b_cnt)
+
+    rows = np.empty(int(pair_off[-1]), dtype=np.int64)
+    cols = np.empty(int(pair_off[-1]), dtype=np.int64)
+    vals = np.empty(int(pair_off[-1]))
+    diag_idx = np.empty(int(diag_off[-1]), dtype=np.int64)
+    diag_val = np.empty(int(diag_off[-1]))
+    b_idx = np.empty(int(b_off[-1]), dtype=np.int64)
+    bvx = np.empty(int(b_off[-1]))
+    bvy = np.empty(int(b_off[-1]))
+
+    # Star fixed-pin centroids: sequential Python sums in term order, the
+    # scalar reference's exact accumulation (numpy's pairwise/unrolled
+    # reductions differ in the last ULPs for > 8 addends).
+    star_cx = np.zeros(e_ids.size)
+    star_cy = np.zeros(e_ids.size)
+    if star_fix.any():
+        fpx_l = fpx.tolist()
+        fpy_l = fpy.tolist()
+        foff_l = foff.tolist()
+        for r in np.flatnonzero(star_fix).tolist():
+            lo, hi = foff_l[r], foff_l[r + 1]
+            sx = 0.0
+            sy = 0.0
+            for t in range(lo, hi):
+                sx += fpx_l[t]
+                sy += fpy_l[t]
+            star_cx[r] = sx / (hi - lo)
+            star_cy[r] = sy / (hi - lo)
+
+    # Size classes: nets sharing (model, movers, fixed) counts batch into
+    # one 2D gather; destination offsets scatter every block back into
+    # net order.
+    cls = np.stack(
+        [e_clique.astype(np.int64), e_nm.astype(np.int64),
+         e_nf.astype(np.int64)], axis=1
+    )
+    uniq, inv = np.unique(cls, axis=0, return_inverse=True)
+    for u in range(uniq.shape[0]):
+        is_cl, s, f = (int(v) for v in uniq[u])
+        sel = np.flatnonzero(inv == u)
+        w_c = e_w[sel]
+        M = mrank[moff[sel][:, None] + np.arange(s)]
+        if is_cl:
+            diag_blocks = []
+            if s >= 2:
+                pa, pb = np.triu_indices(s, 1)
+                # Interleaved (a, b), (b, a) per pair — the scalar
+                # add_pair append order.
+                rt = np.stack([pa, pb], axis=1).ravel()
+                ct = np.stack([pb, pa], axis=1).ravel()
+                pdest = (
+                    pair_off[sel][:, None] + np.arange(rt.size)
+                ).ravel()
+                rows[pdest] = M[:, rt].ravel()
+                cols[pdest] = M[:, ct].ravel()
+                vals[pdest] = np.repeat(-w_c, rt.size)
+                diag_blocks.append(M[:, rt])
+            if f > 0:
+                diag_blocks.append(np.repeat(M, f, axis=1))
+                fx_g = fpx[foff[sel][:, None] + np.arange(f)]
+                fy_g = fpy[foff[sel][:, None] + np.arange(f)]
+                bdest = (b_off[sel][:, None] + np.arange(s * f)).ravel()
+                b_idx[bdest] = np.repeat(M, f, axis=1).ravel()
+                bvx[bdest] = (w_c[:, None] * np.tile(fx_g, (1, s))).ravel()
+                bvy[bdest] = (w_c[:, None] * np.tile(fy_g, (1, s))).ravel()
+            if diag_blocks:
+                block = (
+                    np.concatenate(diag_blocks, axis=1)
+                    if len(diag_blocks) > 1
+                    else diag_blocks[0]
+                )
+                ddest = (
+                    diag_off[sel][:, None] + np.arange(block.shape[1])
+                ).ravel()
+                diag_idx[ddest] = block.ravel()
+                diag_val[ddest] = np.repeat(w_c, block.shape[1])
+        elif f > 0:
+            ddest = (diag_off[sel][:, None] + np.arange(s)).ravel()
+            diag_idx[ddest] = M.ravel()
+            diag_val[ddest] = np.repeat(w_c, s)
+            bdest = (b_off[sel][:, None] + np.arange(s)).ravel()
+            b_idx[bdest] = M.ravel()
+            bvx[bdest] = np.repeat(w_c * star_cx[sel], s)
+            bvy[bdest] = np.repeat(w_c * star_cy[sel], s)
+
+    conn.rows = rows
+    conn.cols = cols
+    conn.vals = vals
+    np.add.at(conn.diag, diag_idx, diag_val)
+    np.add.at(conn.bx, b_idx, bvx)
+    np.add.at(conn.by, b_idx, bvy)
+
+    star_nets: List[StarNet] = [
+        (mrank[moff[r]:moff[r + 1]].copy(), float(e_w[r]))
+        for r in np.flatnonzero(~e_clique).tolist()
+    ]
+    return conn, star_nets
+
+
+class _CentroidBatch:
+    """Batched per-group centroid pulls for the solve loop.
+
+    Groups of equal size share one 2D gather: ``base[M].sum(axis=1) / s``
+    is bitwise-identical to each row's ``base[group].mean()`` (same
+    pairwise reduction over the same elements), which plain
+    ``np.add.reduceat`` over a concatenated stream would NOT be — its
+    sequential segment sums diverge from numpy's pairwise ``mean`` in the
+    last ULPs, breaking the byte-identical QoR gate.
+
+    Scatter-accumulation replays the scalar loop's semantics: fancy
+    ``dst[group] += v`` collapses duplicate indices (hence ``dedupe``),
+    and groups are laid out in their original order so elements shared
+    between groups accumulate in the reference sequence.
+    """
+
+    def __init__(self, groups: Sequence[np.ndarray], dedupe: bool):
+        self._classes: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        by_size: Dict[int, List[int]] = {}
+        for g, members in enumerate(groups):
+            by_size.setdefault(len(members), []).append(g)
+        for size, positions in by_size.items():
+            pos = np.array(positions, dtype=np.int64)
+            mat = np.stack([groups[g] for g in positions])
+            self._classes[size] = (pos, mat)
+        scatter = [np.unique(g) if dedupe else g for g in groups]
+        self.n_groups = len(groups)
+        self._scatter = (
+            np.concatenate(scatter)
+            if scatter
+            else np.empty(0, dtype=np.int64)
+        )
+        self._rep = np.array([s.size for s in scatter], dtype=np.int64)
+
+    def means(self, base: np.ndarray) -> np.ndarray:
+        out = np.empty(self.n_groups)
+        for size, (pos, mat) in self._classes.items():
+            out[pos] = base[mat].sum(axis=1) / size
+        return out
+
+    def accumulate(self, dst: np.ndarray, per_group) -> None:
+        """``dst[group] += value`` for every group, in group order."""
+        if self._scatter.size == 0:
+            return
+        values = np.asarray(per_group)
+        if values.ndim == 0:
+            values = np.full(self.n_groups, values)
+        np.add.at(dst, self._scatter, np.repeat(values, self._rep))
 
 
 # -- spreading -----------------------------------------------------------------------
@@ -363,6 +641,25 @@ def global_place(
             module_groups.append((np.array(members), anchor))
     cohesion_w = options.module_cohesion * max(mean_weight, 1e-9)
 
+    star_batch = _CentroidBatch(
+        [movers for movers, _w in star_nets],
+        dedupe=True,
+    )
+    star_w = np.array([w for _m, w in star_nets])
+    coh_batch = _CentroidBatch(
+        [members for members, _a in module_groups],
+        dedupe=False,
+    )
+    coh_anchor_x = np.array(
+        [0.0 if a is None else a.x for _m, a in module_groups]
+    )
+    coh_anchor_y = np.array(
+        [0.0 if a is None else a.y for _m, a in module_groups]
+    )
+    coh_anchored = np.array(
+        [a is not None for _m, a in module_groups], dtype=bool
+    )
+
     gauge("movable_cells", float(n))
     # CG iteration counting runs through a callback, which scipy invokes
     # per iteration — attach it only when a recorder is installed so the
@@ -378,28 +675,28 @@ def global_place(
         bx = conn.bx + regularisation * center.x
         by = conn.by + regularisation * center.y
         # Star nets pull their movable pins to the running centroid.
-        for movers, w in star_nets:
-            cx = x[movers].mean()
-            cy = y[movers].mean()
-            extra[movers] += w
-            bx[movers] += w * cx
-            by[movers] += w * cy
-        for members, anchor in module_groups:
-            extra[members] += cohesion_w
-            ax = anchor.x if anchor is not None else x[members].mean()
-            ay = anchor.y if anchor is not None else y[members].mean()
-            bx[members] += cohesion_w * ax
-            by[members] += cohesion_w * ay
+        if star_w.size:
+            cx = star_batch.means(x)
+            cy = star_batch.means(y)
+            star_batch.accumulate(extra, star_w)
+            star_batch.accumulate(bx, star_w * cx)
+            star_batch.accumulate(by, star_w * cy)
+        if coh_anchored.size:
+            ax = np.where(coh_anchored, coh_anchor_x, coh_batch.means(x))
+            ay = np.where(coh_anchored, coh_anchor_y, coh_batch.means(y))
+            coh_batch.accumulate(extra, cohesion_w)
+            coh_batch.accumulate(bx, cohesion_w * ax)
+            coh_batch.accumulate(by, cohesion_w * ay)
         if targets is not None:
             weight = anchor_w * (2.0 ** iteration)
             extra += weight
             bx = bx + weight * targets[0]
             by = by + weight * targets[1]
         mat = conn.matrix(extra)
-        x_new, _ = spla.cg(mat, bx, x0=x, rtol=1e-6, maxiter=300,
-                           callback=cg_callback)
-        y_new, _ = spla.cg(mat, by, x0=y, rtol=1e-6, maxiter=300,
-                           callback=cg_callback)
+        x_new, _ = _cg(mat, bx, x0=x, tol=1e-6, maxiter=300,
+                       callback=cg_callback)
+        y_new, _ = _cg(mat, by, x0=y, tol=1e-6, maxiter=300,
+                       callback=cg_callback)
         count("cg_solves", 2)
         x, y = x_new, y_new
         targets = _spread_targets(x, y, areas, grid)

@@ -191,48 +191,85 @@ def legalize(
     movable = [
         inst for inst in netlist.instances if placement.movable[inst.id]
     ]
+    # Python-float mirrors of the coordinate arrays: the search loop below
+    # is scalar-hot, and list indexing avoids numpy scalar boxing on every
+    # read (bit-identical doubles either way).
+    xs = placement.x.tolist()
+    ys = placement.y.tolist()
     # Tetris order: left to right, which keeps displacement local.
-    movable.sort(key=lambda inst: (placement.x[inst.id], placement.y[inst.id]))
+    movable.sort(key=lambda inst: (xs[inst.id], ys[inst.id]))
 
     displacement = np.zeros(netlist.num_instances)
     failures = 0
     forced = 0
     overflow: List[Instance] = []
     num_rows = len(rows)
+    outline_ylo = floorplan.outline.ylo
     for inst in movable:
-        cx = placement.x[inst.id]
-        cy = placement.y[inst.id]
+        iid = inst.id
+        cx = xs[iid]
+        cy = ys[iid]
         width = inst.master.width
-        target_row = int((cy - floorplan.outline.ylo) / row_height)
+        half = width / 2.0
+        target_row = int((cy - outline_ylo) / row_height)
         target_row = min(max(target_row, 0), num_rows - 1)
-        best: Optional[Tuple[float, float, float, _Interval]] = None
+        best: Optional[Tuple[float, float, _Interval]] = None
+        best_cost = math.inf
         for offset in range(num_rows):
             for direction in (1, -1) if offset else (1,):
                 r = target_row + direction * offset
                 if not 0 <= r < num_rows:
                     continue
                 row = rows[r]
-                dy = abs(row.y_center - cy)
-                if best is not None and dy >= best[0]:
+                y_center = row.y_center
+                dy = y_center - cy
+                if dy < 0.0:
+                    dy = -dy
+                if best is not None and dy >= best_cost:
                     continue
                 for interval in row.intervals:
-                    x_center = interval.candidate_center(width, cx)
-                    if x_center is None:
-                        continue
-                    cost = dy + abs(x_center - cx)
-                    if best is None or cost < best[0]:
-                        best = (cost, x_center, row.y_center, interval)
-            if best is not None and offset * row_height > best[0]:
+                    # Inlined _Interval.candidate_center — same float
+                    # expressions and comparisons, minus the call/property
+                    # overhead (this is the single hottest placer loop).
+                    if interval.capacity_fraction >= 1.0 - 1e-9:
+                        edge_x = interval.xlo + interval.edge
+                        x_left = cx - half
+                        if x_left < edge_x:
+                            x_left = edge_x
+                        hi_left = interval.xhi - width
+                        if x_left > hi_left:
+                            x_left = hi_left
+                        if x_left < edge_x - 1e-9:
+                            continue
+                        x_center = x_left + half
+                    else:
+                        span = interval.xhi - interval.xlo
+                        capacity = span * interval.capacity_fraction
+                        used = interval.used
+                        if used + width > capacity + 1e-9:
+                            continue
+                        fraction = used / capacity if capacity > 0 else 0.0
+                        x_center = (
+                            interval.xlo + fraction * (span - width) + half
+                        )
+                    dx = x_center - cx
+                    if dx < 0.0:
+                        dx = -dx
+                    cost = dy + dx
+                    if best is None or cost < best_cost:
+                        best_cost = cost
+                        best = (x_center, y_center, interval)
+            if best is not None and offset * row_height > best_cost:
                 break
         if best is None:
             overflow.append(inst)
             continue
-        _cost, x_center, y_center, interval = best
+        _x_center, y_center, interval = best
         placed_x = interval.try_fit(width, cx)
         assert placed_x is not None
-        result.x[inst.id] = placed_x
-        result.y[inst.id] = y_center
-        displacement[inst.id] = math.hypot(placed_x - cx, y_center - cy)
+        result.x[iid] = placed_x
+        result.y[iid] = y_center
+        displacement[iid] = math.hypot(placed_x - cx, y_center - cy)
 
     # Overflow pass: the die has no capacity left for these cells.  They
     # are forced into the physically nearest interval regardless of
@@ -246,8 +283,8 @@ def legalize(
         # land somewhere physical.
         force_rows = _build_rows(floorplan, row_height, honor_partial=False)
     for inst in overflow:
-        cx = placement.x[inst.id]
-        cy = placement.y[inst.id]
+        cx = xs[inst.id]
+        cy = ys[inst.id]
         width = inst.master.width
         best_row: Optional[_Row] = None
         best_interval: Optional[_Interval] = None

@@ -45,6 +45,12 @@ class RoutedEdge:
     length: float
     #: Fraction of the path over macro substrate (no repeater sites).
     blocked_fraction: float = 0.0
+    #: Router-internal cache: flat ids of the horizontal and vertical
+    #: grid edges the path crosses (row-major ``x*ny + y``).  Derived
+    #: from ``path``; never serialized.
+    seg_ids: Optional[Tuple[List[int], List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclass
@@ -92,6 +98,11 @@ class GlobalRouter:
         self.grid = grid
         self.options = options
         self.routed: Dict[str, RoutedNet] = {}
+        # Flat row-major views over the usage planes (allocated once by
+        # the grid and only ever mutated in place, so the views stay
+        # valid for the router's lifetime).
+        self._use_h_flat = grid.use_h.ravel()
+        self._use_v_flat = grid.use_v.ravel()
         self._since_refresh = 0
         self._refresh_costs()
 
@@ -117,24 +128,56 @@ class GlobalRouter:
         self._psum_v = np.concatenate(
             [np.zeros((grid.nx, 1)), np.cumsum(self._cost_v, axis=1)], axis=1
         )
+        # Nested-list mirrors: the pattern scorer and the maze inner loop
+        # read single elements millions of times, where Python list
+        # indexing beats numpy scalar indexing several-fold.  The lists
+        # hold the same doubles, so all costs come out bit-identical.
+        self._cost_h_l = self._cost_h.tolist()
+        self._cost_v_l = self._cost_v.tolist()
+        self._psum_h_l = self._psum_h.tolist()
+        self._psum_v_l = self._psum_v.tolist()
+        # Flat row-major mirrors for the maze: cell (x, y) is id x*ny+y,
+        # edge (ex, ey) is id ex*ny+ey.
+        self._cost_h_flat = self._cost_h.ravel().tolist()
+        self._cost_v_flat = self._cost_v.ravel().tolist()
         self._since_refresh = 0
 
     def _hcost(self, y: int, x0: int, x1: int) -> float:
         """Cost of the horizontal run between columns x0 < x1 at row y."""
-        return float(self._psum_h[x1, y] - self._psum_h[x0, y])
+        psum = self._psum_h_l
+        return psum[x1][y] - psum[x0][y]
 
     def _vcost(self, x: int, y0: int, y1: int) -> float:
-        return float(self._psum_v[x, y1] - self._psum_v[x, y0])
+        psum = self._psum_v_l[x]
+        return psum[y1] - psum[y0]
 
     # -- usage bookkeeping -------------------------------------------------------
 
-    def _apply_path(self, path: Sequence[GCell], sign: float) -> None:
-        grid = self.grid
+    def _edge_segments(self, path: Sequence[GCell]) -> Tuple[List[int], List[int]]:
+        """Flat ids of the h/v grid edges a path crosses (``x*ny + y``)."""
+        ny = self.grid.ny
+        h_ids: List[int] = []
+        v_ids: List[int] = []
         for (ax, ay), (bx, by) in zip(path, path[1:]):
             if ax != bx:
-                grid.use_h[min(ax, bx), ay] += sign
+                h_ids.append((ax if ax < bx else bx) * ny + ay)
             else:
-                grid.use_v[ax, min(ay, by)] += sign
+                v_ids.append(ax * ny + (ay if ay < by else by))
+        return h_ids, v_ids
+
+    def _apply_segments(
+        self, segs: Tuple[List[int], List[int]], sign: float
+    ) -> None:
+        # np.add.at is unbuffered (sequential-add semantics), so usage
+        # lands exactly as the old per-segment scalar loop did.
+        h_ids, v_ids = segs
+        if h_ids:
+            np.add.at(self._use_h_flat, h_ids, sign)
+        if v_ids:
+            np.add.at(self._use_v_flat, v_ids, sign)
+
+    def _apply_path(self, path: Sequence[GCell], sign: float) -> None:
+        self._apply_segments(self._edge_segments(path), sign)
 
     # -- pattern routing ------------------------------------------------------------
 
@@ -221,46 +264,88 @@ class GlobalRouter:
     # -- maze routing -----------------------------------------------------------------
 
     def _route_edge_maze(self, a: GCell, b: GCell) -> Optional[List[GCell]]:
-        grid = self.grid
         if a == b:
             return [a]
-        cost_h, cost_v = self._cost_h, self._cost_v
+        # Hot loop: pure Python over flat lists.  Cells travel as row-
+        # major ids (x*ny + y); because y < ny, id order equals (x, y)
+        # tuple order, so heap tie-breaking — and therefore expansion
+        # order and the returned path — is identical to the tuple/dict
+        # implementation, at a fraction of its hashing cost.
+        nx, ny = self.grid.nx, self.grid.ny
+        cost_h, cost_v = self._cost_h_flat, self._cost_v_flat
+        limit = self.options.maze_expansion_limit
+        bx_, by_ = b
+        b_id = bx_ * ny + by_
+        a_id = a[0] * ny + a[1]
+        inf = math.inf
         expansions = 0
-        best: Dict[GCell, float] = {a: 0.0}
-        parent: Dict[GCell, GCell] = {}
-        frontier: List[Tuple[float, float, GCell]] = [(0.0, 0.0, a)]
+        best = [inf] * (nx * ny)
+        best[a_id] = 0.0
+        parent = [0] * (nx * ny)
+        frontier: List[Tuple[float, float, int]] = [(0.0, 0.0, a_id)]
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         while frontier:
-            _f, g, cell = heapq.heappop(frontier)
-            if cell == b:
-                path = [cell]
-                while path[-1] != a:
-                    path.append(parent[path[-1]])
-                path.reverse()
+            _f, g, cell = heappop(frontier)
+            if cell == b_id:
+                ids = [cell]
+                while cell != a_id:
+                    cell = parent[cell]
+                    ids.append(cell)
+                ids.reverse()
                 count("maze_expansions", expansions)
-                return path
-            if g > best.get(cell, math.inf):
+                return [divmod(i, ny) for i in ids]
+            if g > best[cell]:
                 continue
             expansions += 1
-            if expansions > self.options.maze_expansion_limit:
+            if expansions > limit:
                 count("maze_expansions", expansions)
                 return None
-            cx, cy = cell
-            for nx_, ny_, horizontal, ex, ey in (
-                (cx + 1, cy, True, cx, cy),
-                (cx - 1, cy, True, cx - 1, cy),
-                (cx, cy + 1, False, cx, cy),
-                (cx, cy - 1, False, cx, cy - 1),
-            ):
-                if not (0 <= nx_ < grid.nx and 0 <= ny_ < grid.ny):
-                    continue
-                step = cost_h[ex, ey] if horizontal else cost_v[ex, ey]
-                g2 = g + float(step)
-                neighbour = (nx_, ny_)
-                if g2 < best.get(neighbour, math.inf):
-                    best[neighbour] = g2
-                    parent[neighbour] = cell
-                    h = abs(nx_ - b[0]) + abs(ny_ - b[1])
-                    heapq.heappush(frontier, (g2 + h, g2, neighbour))
+            cx, cy = divmod(cell, ny)
+            if cx + 1 < nx:
+                g2 = g + cost_h[cell]
+                n_id = cell + ny
+                if g2 < best[n_id]:
+                    best[n_id] = g2
+                    parent[n_id] = cell
+                    nx_ = cx + 1
+                    h = (nx_ - bx_ if nx_ >= bx_ else bx_ - nx_) + (
+                        cy - by_ if cy >= by_ else by_ - cy
+                    )
+                    heappush(frontier, (g2 + h, g2, n_id))
+            if cx > 0:
+                n_id = cell - ny
+                g2 = g + cost_h[n_id]
+                if g2 < best[n_id]:
+                    best[n_id] = g2
+                    parent[n_id] = cell
+                    nx_ = cx - 1
+                    h = (nx_ - bx_ if nx_ >= bx_ else bx_ - nx_) + (
+                        cy - by_ if cy >= by_ else by_ - cy
+                    )
+                    heappush(frontier, (g2 + h, g2, n_id))
+            if cy + 1 < ny:
+                g2 = g + cost_v[cell]
+                n_id = cell + 1
+                if g2 < best[n_id]:
+                    best[n_id] = g2
+                    parent[n_id] = cell
+                    ny_ = cy + 1
+                    h = (cx - bx_ if cx >= bx_ else bx_ - cx) + (
+                        ny_ - by_ if ny_ >= by_ else by_ - ny_
+                    )
+                    heappush(frontier, (g2 + h, g2, n_id))
+            if cy > 0:
+                n_id = cell - 1
+                g2 = g + cost_v[n_id]
+                if g2 < best[n_id]:
+                    best[n_id] = g2
+                    parent[n_id] = cell
+                    ny_ = cy - 1
+                    h = (cx - bx_ if cx >= bx_ else bx_ - cx) + (
+                        ny_ - by_ if ny_ >= by_ else by_ - ny_
+                    )
+                    heappush(frontier, (g2 + h, g2, n_id))
         count("maze_expansions", expansions)
         return None
 
@@ -294,7 +379,8 @@ class GlobalRouter:
                 count("pattern_routes", 1)
             else:
                 count("maze_routes", 1)
-            self._apply_path(path, +1.0)
+            segs = self._edge_segments(path)
+            self._apply_segments(segs, +1.0)
             direct = manhattan(routed.points[src], routed.points[dst])
             detour = max(0, len(path) - 1) * self.grid.gcell
             routed.edges.append(
@@ -304,6 +390,7 @@ class GlobalRouter:
                     path,
                     max(direct, detour * 0.999),
                     self.grid.path_blocked_fraction(path),
+                    seg_ids=segs,
                 )
             )
         self._since_refresh += 1
@@ -312,7 +399,10 @@ class GlobalRouter:
 
     def _rip_up(self, routed: RoutedNet) -> None:
         for edge in routed.edges:
-            self._apply_path(edge.path, -1.0)
+            segs = edge.seg_ids
+            if segs is None:
+                segs = self._edge_segments(edge.path)
+            self._apply_segments(segs, -1.0)
         routed.edges = []
 
     def _nets_on_overflow(self) -> List[RoutedNet]:
@@ -321,18 +411,25 @@ class GlobalRouter:
         over_v = grid.use_v > grid.cap_v
         if not over_h.any() and not over_v.any():
             return []
+        oh = over_h.ravel().tolist()
+        ov = over_v.ravel().tolist()
         offenders = []
         for routed in self.routed.values():
             hit = False
             for edge in routed.edges:
-                for (ax, ay), (bx, by) in zip(edge.path, edge.path[1:]):
-                    if ax != bx:
-                        if over_h[min(ax, bx), ay]:
-                            hit = True
-                            break
-                    elif over_v[ax, min(ay, by)]:
+                segs = edge.seg_ids
+                if segs is None:
+                    segs = edge.seg_ids = self._edge_segments(edge.path)
+                h_ids, v_ids = segs
+                for i in h_ids:
+                    if oh[i]:
                         hit = True
                         break
+                if not hit:
+                    for i in v_ids:
+                        if ov[i]:
+                            hit = True
+                            break
                 if hit:
                     break
             if hit:
@@ -343,10 +440,18 @@ class GlobalRouter:
 
     def run(self) -> Dict[str, RoutedNet]:
         """Route all non-clock signal nets; returns them by net name."""
-        for net in self.netlist.nets:
-            if net.is_clock or net.degree < 2:
-                continue
-            points = [self.placement.term_position(t) for t in net.terms]
+        nets = [
+            net
+            for net in self.netlist.nets
+            if not net.is_clock and net.degree >= 2
+        ]
+        # One batched gather resolves every terminal; the Points hold the
+        # same doubles as per-term ``term_position`` walks.
+        geo = self.placement.geometry()
+        points_all = geo.net_points(
+            self.placement.x, self.placement.y, [net.id for net in nets]
+        )
+        for net, points in zip(nets, points_all):
             driver_index = (
                 net.terms.index(net.driver) if net.driver in net.terms else 0
             )

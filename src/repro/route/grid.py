@@ -96,6 +96,9 @@ class RoutingGrid:
         #: repeaters cannot be placed.  Filled by the flows from the
         #: floorplan blockages.
         self.substrate_coverage = np.zeros((self.nx, self.ny))
+        # Nested-list mirror for the per-path scalar walk; rebuilt lazily
+        # after any ``block_substrate`` call.
+        self._substrate_list: Optional[List[List[float]]] = None
 
         # 2D usage and negotiated-congestion history.
         self.use_h = np.zeros((self.nx, self.ny))
@@ -152,14 +155,18 @@ class RoutingGrid:
                 self.substrate_coverage[ix, iy] = min(
                     1.0, self.substrate_coverage[ix, iy] + fraction * overlap
                 )
+        self._substrate_list = None
 
     def path_blocked_fraction(self, path) -> float:
         """Mean substrate coverage along a GCell path."""
         if not path:
             return 0.0
+        coverage = self._substrate_list
+        if coverage is None:
+            coverage = self._substrate_list = self.substrate_coverage.tolist()
         total = 0.0
         for (ix, iy) in path:
-            total += self.substrate_coverage[ix, iy]
+            total += coverage[ix][iy]
         return total / len(path)
 
     # -- coordinates ---------------------------------------------------------------

@@ -89,11 +89,36 @@ class LayerAssigner:
         self._cuts = stack.cut_layers
         boundary = grid.f2f_boundary
         self._top_logic = boundary if boundary is not None else len(self._layers) - 1
+        self._term_cache: Dict[Tuple[int, str], int] = {}
+        # Nested-list mirrors of the per-layer capacity/usage planes for
+        # the congestion scorer's scalar walk.  Capacity is frozen once
+        # assignment starts (blockages are applied at grid build time);
+        # usage is dual-written in ``assign_edge`` so the numpy plane
+        # stays authoritative for signoff/SVG readers.  Built lazily so a
+        # late ``block_layer`` before the first edge is still honoured.
+        self._cap_l: Optional[List[List[List[float]]]] = None
+        self._use_l: Optional[List[List[List[float]]]] = None
+
+    def _mirrors(self) -> Tuple[List[List[List[float]]], List[List[List[float]]]]:
+        if self._cap_l is None:
+            self._cap_l = [c.tolist() for c in self.grid.layer_capacity]
+            self._use_l = [u.tolist() for u in self.grid.layer_usage]
+        return self._cap_l, self._use_l
 
     # -- terminals ------------------------------------------------------------------
 
     def terminal_layer(self, term: Tuple[object, str]) -> int:
         """Metal layer index of a net terminal."""
+        obj, pin = term
+        key = (id(obj), pin)
+        cached = self._term_cache.get(key)
+        if cached is not None:
+            return cached
+        layer = self._terminal_layer_uncached(term)
+        self._term_cache[key] = layer
+        return layer
+
+    def _terminal_layer_uncached(self, term: Tuple[object, str]) -> int:
         obj, pin = term
         if isinstance(obj, Instance):
             if obj.is_macro:
@@ -131,20 +156,28 @@ class LayerAssigner:
             return float(len(self._layers) - 1) - tier
         return tier
 
-    def _congestion_penalty(self, layer: int, gcells: Sequence[GCell]) -> float:
-        cap = self.grid.layer_capacity[layer]
-        use = self.grid.layer_usage[layer]
+    def _congestion_penalty(
+        self,
+        layer: int,
+        gcells: Sequence[GCell],
+        cap_l: Optional[List[List[List[float]]]] = None,
+        use_l: Optional[List[List[List[float]]]] = None,
+    ) -> float:
+        if cap_l is None:
+            cap_l, use_l = self._mirrors()
+        cap = cap_l[layer]
+        use = use_l[layer]
         total_cap = 0.0
         total_use = 0.0
-        min_cap = math.inf
         for (ix, iy) in gcells:
-            total_cap += cap[ix, iy]
-            total_use += use[ix, iy]
-            min_cap = min(min_cap, cap[ix, iy])
-        # A run is only legal if every GCell it crosses has tracks — a
-        # macro obstruction anywhere on the run rules the layer out.
-        if min_cap <= 0.05:
-            return 1e6
+            c = cap[ix][iy]
+            # A run is only legal if every GCell it crosses has tracks —
+            # a macro obstruction anywhere on the run rules the layer
+            # out, so the first blocked cell decides the result.
+            if c <= 0.05:
+                return 1e6
+            total_cap += c
+            total_use += use[ix][iy]
         ratio = (total_use + len(gcells)) / total_cap
         if ratio <= 0.9:
             return 0.0
@@ -162,16 +195,32 @@ class LayerAssigner:
         last = len(self._layers) - 1
         best_layer = candidates[0]
         best_score = math.inf
+        cap_l, use_l = self._mirrors()
         for layer in candidates:
-            score = abs(layer - tier) + self._congestion_penalty(layer, gcells)
             # Crossing the bond costs two F2F traversals for a die-local
             # run — mildly discouraged, but the combined stack exists to
             # absorb exactly this overflow (Sec. III).
             foreign = (layer > self._top_logic) != die1
+            m1 = (layer == 0 and not die1) or (layer == last and die1)
+            # Lower bound on the score with a zero congestion penalty,
+            # summed in the same order as the full score below.  The
+            # penalty is non-negative and IEEE addition is monotonic, so
+            # ``lower >= best_score`` implies the full score cannot win —
+            # skip the (expensive) congestion walk entirely.
+            lower = abs(layer - tier)
+            if foreign:
+                lower += 0.9
+            if m1:
+                lower += 1.5  # each die's M1 is for pin access
+            if lower >= best_score:
+                continue
+            score = abs(layer - tier) + self._congestion_penalty(
+                layer, gcells, cap_l, use_l
+            )
             if foreign:
                 score += 0.9
-            if (layer == 0 and not die1) or (layer == last and die1):
-                score += 1.5  # each die's M1 is for pin access
+            if m1:
+                score += 1.5
             if score < best_score:
                 best_score = score
                 best_layer = layer
@@ -239,6 +288,7 @@ class LayerAssigner:
 
         total_steps = max(1, len(edge.path) - 1)
         previous_layer = src_layer
+        _cap_l, use_l = self._mirrors()
         for i, run in enumerate(runs):
             horizontal = run[0][1] == run[1][1]
             steps = len(run) - 1
@@ -248,8 +298,11 @@ class LayerAssigner:
             assigned.runs.append(AssignedRun(layer_index, list(run), length))
             assigned.resistance += layer.r_per_um * length
             assigned.capacitance += layer.c_per_um * length
+            usage = self.grid.layer_usage[layer_index]
+            mirror = use_l[layer_index]
             for (ix, iy) in run[:-1]:
-                self.grid.layer_usage[layer_index, ix, iy] += 1.0
+                usage[ix, iy] += 1.0
+                mirror[ix][iy] += 1.0
             self._via_stack(assigned, run[0], previous_layer, layer_index)
             previous_layer = layer_index
         self._via_stack(assigned, runs[-1][-1], previous_layer, dst_layer)

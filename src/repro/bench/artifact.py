@@ -48,6 +48,10 @@ PPA_FIELDS = (
     "detour_factor",
     "num_repeaters",
     "power_uw",
+    "drc_total",
+    "opens",
+    "shorts",
+    "f2f_overflow",
 )
 
 

@@ -63,6 +63,12 @@ DEFAULT_SPECS: Sequence[MetricSpec] = (
     MetricSpec("ppa.f2f_bumps", "up", 2.0, 5.0),
     MetricSpec("ppa.routing_overflow", "up", 5.0, 10.0),
     MetricSpec("ppa.num_repeaters", "up", 5.0, 10.0),
+    # Signoff DRC: baselines are 0 for clean flows, and any regression
+    # from 0 is an infinite percent change — an automatic FAIL.
+    MetricSpec("ppa.drc_total", "up", 0.0, 0.0),
+    MetricSpec("ppa.opens", "up", 0.0, 0.0),
+    MetricSpec("ppa.shorts", "up", 0.0, 0.0),
+    MetricSpec("ppa.f2f_overflow", "up", 0.0, 0.0),
     MetricSpec("counters.maze_expansions", "up", 10.0, 25.0),
     MetricSpec("counters.cg_iterations", "up", 10.0, 25.0),
     MetricSpec("counters.sizing_iterations", "up", 10.0, 25.0),

@@ -247,8 +247,8 @@ def render_slack_histogram_svg(
 
 
 def render_signoff_visuals(result) -> Dict[str, str]:
-    """Both signoff SVGs for one FlowResult, keyed by artifact suffix."""
-    return {
+    """All signoff SVGs for one FlowResult, keyed by artifact suffix."""
+    visuals = {
         "congestion": render_congestion_svg(
             congestion_layers(result.grid),
             title=f"{result.flow} — per-layer routing utilization",
@@ -258,3 +258,8 @@ def render_signoff_visuals(result) -> Dict[str, str]:
             title=f"{result.flow} — endpoint slack at signoff",
         ),
     }
+    if getattr(result, "drc", None) is not None:
+        from repro.drc.report import render_drc_svg
+
+        visuals["drc"] = render_drc_svg(result.grid, result.drc)
+    return visuals

@@ -165,6 +165,69 @@ def cmd_floorplans(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Run flow(s) and gate on the signoff DRC report (exit 1 if dirty)."""
+    import os
+
+    from repro.drc import format_report, render_drc_svg
+    from repro.io.def_io import write_def
+
+    targets = []
+    if args.scenario:
+        from repro.bench import get_scenario
+
+        for name in args.scenario:
+            scenario = get_scenario(name)
+            targets.append((name, scenario.run))
+    else:
+        runner = _FLOWS[args.flow]
+        config = _config(args.config)
+
+        def run_adhoc() -> FlowResult:
+            return runner(config, scale=args.scale)
+
+        targets.append((f"{args.flow}-{args.config}", run_adhoc))
+
+    wants_files = args.json or args.svg or args.def_out
+    if wants_files:
+        os.makedirs(args.out, exist_ok=True)
+
+    failed = False
+    for name, run in targets:
+        result = run()
+        report = result.drc
+        if report is None:
+            raise SystemExit(f"{name}: flow attached no DRC report")
+        print(format_report(report, limit=args.limit))
+        print()
+        failed = failed or not report.clean
+        if args.json:
+            path = os.path.join(args.out, f"VERIFY_{name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"  report -> {path}")
+        if args.svg:
+            path = os.path.join(args.out, f"VERIFY_{name}.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_drc_svg(result.grid, report))
+            print(f"  overlay -> {path}")
+        if args.def_out:
+            path = os.path.join(args.out, f"VERIFY_{name}.def")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    write_def(
+                        result.design,
+                        result.placement,
+                        result.routed,
+                        assignment=result.assignment,
+                        layer_names=[l.name for l in result.grid.layers],
+                    )
+                )
+            print(f"  routed DEF -> {path}")
+    print(f"verify: {'FAIL' if failed else 'clean'}")
+    return 1 if failed else 0
+
+
 # -- bench subcommands ---------------------------------------------------------------
 
 
@@ -323,6 +386,27 @@ def build_parser() -> argparse.ArgumentParser:
     fp_p = sub.add_parser("floorplans", help="print the Fig. 4 floorplans")
     common(fp_p)
     fp_p.set_defaults(handler=cmd_floorplans)
+
+    ver_p = sub.add_parser(
+        "verify", help="run flow(s) and gate on signoff DRC (exit 1 if dirty)"
+    )
+    ver_p.add_argument("--scenario", action="append", metavar="NAME",
+                       help="verify a named bench scenario (repeatable); "
+                            "overrides --flow/--config/--scale")
+    ver_p.add_argument("--flow", default="macro3d", choices=sorted(_FLOWS))
+    ver_p.add_argument("--limit", type=int, default=10,
+                       help="violation detail lines to print (default: 10)")
+    ver_p.add_argument("--out", default="verify_out",
+                       help="directory for --json/--svg/--def-out artifacts")
+    ver_p.add_argument("--json", action="store_true",
+                       help="write VERIFY_<name>.json reports")
+    ver_p.add_argument("--svg", action="store_true",
+                       help="write VERIFY_<name>.svg violation overlays")
+    ver_p.add_argument("--def-out", action="store_true",
+                       help="write VERIFY_<name>.def routed snapshots "
+                            "(ROUTED/VIA clauses for DRC replay)")
+    common(ver_p)
+    ver_p.set_defaults(handler=cmd_verify)
 
     tr_p = sub.add_parser("trace", help="print a recorded FlowTrace JSON")
     tr_p.add_argument("path", help="path to a --trace-out JSON file")

@@ -1,0 +1,79 @@
+"""3D-aware physical verification (DRC + connectivity signoff).
+
+The measurable form of Macro-3D's "directly valid in 3D" claim: after
+any flow finishes, :func:`run_drc` re-derives occupancy from the layer
+assignment's runs and via records and proves — or itemizes violations
+against — geometric legality (blocked-cell shorts, macro-die keepouts,
+F2F bond-site supply, via-stack structure) and electrical connectivity
+(every signal net one connected component across both dies).
+
+Entry points:
+
+- :func:`run_drc` — full check suite; flows call it via
+  ``flows.base.verify_design``, the CLI via ``repro verify``.
+- :func:`format_report` / :func:`render_drc_svg` — human-readable and
+  overlay views of a :class:`DrcReport`.
+- ``inject_*`` — seeded single-fault corruption for tests.
+"""
+
+from repro.drc.connectivity import (
+    check_def_connectivity,
+    check_net_connectivity,
+    count_die_crossing_opens,
+)
+from repro.drc.engine import run_drc
+from repro.drc.geometry import (
+    check_blocked_routing,
+    check_bookkeeping,
+    check_f2f_supply,
+    check_placement,
+    check_via_stacks,
+    congestion_stats,
+)
+from repro.drc.inject import (
+    clone_routing_state,
+    inject_f2f_overbook,
+    inject_keepout,
+    inject_open,
+    inject_short,
+)
+from repro.drc.occupancy import (
+    CAP_EPS,
+    DesignOccupancy,
+    TerminalResolver,
+    build_occupancy,
+)
+from repro.drc.report import (
+    KINDS,
+    DrcReport,
+    Violation,
+    format_report,
+    render_drc_svg,
+)
+
+__all__ = [
+    "CAP_EPS",
+    "KINDS",
+    "DesignOccupancy",
+    "DrcReport",
+    "TerminalResolver",
+    "Violation",
+    "build_occupancy",
+    "check_blocked_routing",
+    "check_bookkeeping",
+    "check_def_connectivity",
+    "check_f2f_supply",
+    "check_net_connectivity",
+    "check_placement",
+    "check_via_stacks",
+    "clone_routing_state",
+    "congestion_stats",
+    "count_die_crossing_opens",
+    "format_report",
+    "inject_f2f_overbook",
+    "inject_keepout",
+    "inject_open",
+    "inject_short",
+    "render_drc_svg",
+    "run_drc",
+]

@@ -1,0 +1,241 @@
+"""Connectivity verification (LVS-lite) over assigned routing.
+
+For every signal net, the check builds a union-find over
+``(layer, GCell)`` nodes from the net's assigned runs and explicit via
+stacks, adds the terminal nodes resolved independently from the
+placement and technology, and demands a single connected component
+spanning all terminals.  A net whose terminals split into several
+components is an **open** — including the 3D case, where terminals on
+both sides of the F2F bond can only join through a via stack that
+crosses it.
+
+Per-net F2F crossing counts fall out of the same walk and are
+cross-checked against ``assignment.total_f2f`` (a disagreement is a
+``mismatch``, the counter-vs-geometry class).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.drc.occupancy import TerminalResolver
+from repro.drc.report import Violation
+from repro.netlist.core import Netlist
+from repro.route.grid import RoutingGrid
+from repro.route.layer_assign import AssignedEdge, LayerAssignment
+
+Node = Tuple[int, int, int]  # (layer, ix, iy)
+
+
+class DisjointSet:
+    """Path-halving union-find over hashable nodes."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[Node, Node] = {}
+
+    def add(self, node: Node) -> None:
+        if node not in self._parent:
+            self._parent[node] = node
+
+    def find(self, node: Node) -> Node:
+        parent = self._parent
+        self.add(node)
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(self, a: Node, b: Node) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def _union_edge(dsu: DisjointSet, assigned: AssignedEdge) -> None:
+    """Union one edge's runs and via stacks into the net's DSU."""
+    for run in assigned.runs:
+        l = run.layer
+        previous: Optional[Node] = None
+        for (ix, iy) in run.gcells:
+            node = (l, ix, iy)
+            dsu.add(node)
+            if previous is not None:
+                dsu.union(previous, node)
+            previous = node
+    for (gcell, lo, hi) in assigned.vias:
+        ix, iy = gcell
+        for k in range(lo, hi):
+            dsu.union((k, ix, iy), (k + 1, ix, iy))
+
+
+def check_net_connectivity(
+    netlist: Netlist,
+    routed: Dict[str, object],
+    assignment: LayerAssignment,
+    resolver: TerminalResolver,
+    grid: RoutingGrid,
+) -> Tuple[List[Violation], Dict[str, float], Dict[str, int]]:
+    """Verify every signal net; returns (violations, stats, f2f by net)."""
+    violations: List[Violation] = []
+    f2f_by_net: Dict[str, int] = {}
+    nets_checked = 0
+    bond_spanning = 0
+    for net in netlist.nets:
+        if net.is_clock or net.degree < 2:
+            continue  # clock nets are the CTS model's, not the router's
+        nets_checked += 1
+        edges = assignment.edges.get(net.name)
+        if net.name not in routed or edges is None:
+            violations.append(
+                Violation(
+                    kind="open",
+                    message="net missing from the routed design",
+                    net=net.name,
+                )
+            )
+            continue
+        dsu = DisjointSet()
+        for assigned in edges:
+            _union_edge(dsu, assigned)
+        terminal_nodes = [resolver.node_of(term) for term in net.terms]
+        roots = {dsu.find(node) for node in terminal_nodes}
+        if len(roots) > 1:
+            violations.append(
+                Violation(
+                    kind="open",
+                    message=(
+                        f"{net.degree} terminals split into {len(roots)} "
+                        "connected components"
+                    ),
+                    net=net.name,
+                    gcell=terminal_nodes[0][1:],
+                )
+            )
+        crossings = sum(e.f2f_count for e in edges)
+        if crossings:
+            f2f_by_net[net.name] = crossings
+        if resolver.spans_bond(net):
+            bond_spanning += 1
+    total_crossings = sum(f2f_by_net.values())
+    if grid.has_f2f and total_crossings != assignment.total_f2f:
+        violations.append(
+            Violation(
+                kind="mismatch",
+                message=(
+                    f"per-net F2F crossings sum to {total_crossings} but "
+                    f"assignment.total_f2f = {assignment.total_f2f}"
+                ),
+            )
+        )
+    stats = {
+        "connectivity_nets": float(nets_checked),
+        "bond_spanning_nets": float(bond_spanning),
+        "net_f2f_max": float(max(f2f_by_net.values(), default=0)),
+    }
+    return violations, stats, f2f_by_net
+
+
+def count_die_crossing_opens(
+    netlist: Netlist,
+    die_of_cell: Dict[str, int],
+    f2f_by_net: Optional[Dict[str, int]] = None,
+) -> int:
+    """Nets spanning both dies without a single bond crossing.
+
+    With ``f2f_by_net`` empty this counts every die-crossing signal net —
+    the *pre-fix-up* 3D opens of the S2D/C2D tails, before F2F planning
+    and the re-route bond the tiers back together.
+    """
+    f2f_by_net = f2f_by_net or {}
+    opens = 0
+    for net in netlist.nets:
+        if net.is_clock or net.degree < 2:
+            continue
+        dies = set()
+        for obj, _pin in net.terms:
+            name = getattr(obj, "name", None)
+            dies.add(die_of_cell.get(name, 0))
+            if len(dies) > 1:
+                break
+        if len(dies) > 1 and f2f_by_net.get(net.name, 0) == 0:
+            opens += 1
+    return opens
+
+
+# -- DEF replay ------------------------------------------------------------------------
+
+
+def check_def_connectivity(
+    def_design, layer_names: Sequence[str]
+) -> List[Violation]:
+    """Replay the connectivity check from a parsed DEF snapshot alone.
+
+    Works on the ``ROUTED``/``VIA`` clauses :func:`repro.io.def_io.
+    write_def` emits when given a layer assignment: each net's drawn
+    segments and via stacks must form one connected component.  Terminal
+    positions are not part of DEF, so this is the geometric half of the
+    check — enough to catch dropped segments and broken stacks in a
+    dumped design without re-running the flow.
+    """
+    index = {name: i for i, name in enumerate(layer_names)}
+    violations: List[Violation] = []
+    for net in def_design.nets or []:
+        if not net.routes and not net.vias:
+            continue
+        dsu = DisjointSet()
+        for seg in net.routes:
+            l = index.get(seg.layer)
+            if l is None:
+                violations.append(
+                    Violation(
+                        kind="via",
+                        message=f"ROUTED on unknown layer {seg.layer!r}",
+                        net=net.name,
+                    )
+                )
+                continue
+            nodes = _expand(seg, l)
+            for node_a, node_b in zip(nodes, nodes[1:]):
+                dsu.union(node_a, node_b)
+            if len(nodes) == 1:
+                dsu.add(nodes[0])
+        for via in net.vias:
+            lo, hi = index.get(via.lower), index.get(via.upper)
+            if lo is None or hi is None:
+                violations.append(
+                    Violation(
+                        kind="via",
+                        message=(
+                            f"VIA between unknown layers "
+                            f"{via.lower!r}..{via.upper!r}"
+                        ),
+                        net=net.name,
+                    )
+                )
+                continue
+            for k in range(min(lo, hi), max(lo, hi)):
+                dsu.union((k, via.x, via.y), ((k + 1), via.x, via.y))
+        roots = {dsu.find(node) for node in list(dsu._parent)}
+        if len(roots) > 1:
+            violations.append(
+                Violation(
+                    kind="open",
+                    message=(
+                        f"drawn geometry splits into {len(roots)} "
+                        "connected components"
+                    ),
+                    net=net.name,
+                )
+            )
+    return violations
+
+
+def _expand(seg, layer: int) -> List[Node]:
+    """All (layer, ix, iy) nodes of one straight DEF segment."""
+    if seg.x0 == seg.x1:
+        step = 1 if seg.y1 >= seg.y0 else -1
+        return [
+            (layer, seg.x0, iy) for iy in range(seg.y0, seg.y1 + step, step)
+        ]
+    step = 1 if seg.x1 >= seg.x0 else -1
+    return [(layer, ix, seg.y0) for ix in range(seg.x0, seg.x1 + step, step)]

@@ -1,0 +1,280 @@
+"""Geometry DRC: blocked-cell shorts, keepouts, F2F supply, via stacks.
+
+The hard violations here are binary physical facts, not congestion
+heuristics:
+
+- **short / keepout** — wire usage on a GCell whose layer has *no*
+  usable signal tracks (fully consumed by a macro obstruction or the
+  PDN).  Congestion overflow on cells that still have tracks is a QoR
+  number (``routing_overflow``), reported in the stats block but never
+  a violation — global routing is a capacity model, not a track router.
+- **f2f_overflow** — more bond crossings in a GCell than the 1 um
+  bonding pitch physically provides sites for
+  (``(gcell / pitch)^2``, the supply the grid derives from
+  :class:`repro.tech.technology.F2FViaSpec`).
+- **via** — malformed via stacks: spans outside the metal stack, stacks
+  floating off their edge's routed path, or a recorded F2F crossing
+  count that disagrees with the stack's actual layer span.
+- **mismatch** — the rebuilt occupancy disagrees with the grid's own
+  usage bookkeeping (catches lost/double-counted updates anywhere
+  between routing and signoff).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.drc.occupancy import DesignOccupancy
+from repro.drc.report import Violation
+from repro.floorplan.floorplan import Floorplan
+from repro.netlist.core import Netlist
+from repro.place.global_place import Placement
+from repro.route.grid import RoutingGrid
+from repro.route.layer_assign import LayerAssignment
+
+#: Per-cell float tolerance when comparing usage planes.
+_TOL = 1e-6
+
+
+def check_blocked_routing(occ: DesignOccupancy) -> List[Violation]:
+    """Wire on zero-capacity cells: ``keepout`` on macro-die footprints,
+    ``short`` everywhere else."""
+    violations: List[Violation] = []
+    grid = occ.grid
+    hits = np.argwhere((occ.layer_use > _TOL) & occ.blocked)
+    for l, ix, iy in hits:
+        l, ix, iy = int(l), int(ix), int(iy)
+        kind = "keepout" if occ.keepout[l, ix, iy] else "short"
+        layer_name = grid.layers[l].name
+        violations.append(
+            Violation(
+                kind=kind,
+                message=(
+                    f"{occ.layer_use[l, ix, iy]:.0f} track(s) on blocked "
+                    f"{layer_name} cell (capacity "
+                    f"{grid.layer_capacity[l, ix, iy]:.2f})"
+                ),
+                net=occ.owner_name(l, ix, iy),
+                layer=layer_name,
+                gcell=(ix, iy),
+            )
+        )
+    return violations
+
+
+def check_f2f_supply(occ: DesignOccupancy) -> List[Violation]:
+    """Per-GCell F2F crossings against the bonding-pitch site supply."""
+    grid = occ.grid
+    if grid.f2f_capacity is None:
+        return []
+    violations: List[Violation] = []
+    over = np.argwhere(occ.f2f_use > grid.f2f_capacity + _TOL)
+    for ix, iy in over:
+        ix, iy = int(ix), int(iy)
+        violations.append(
+            Violation(
+                kind="f2f_overflow",
+                message=(
+                    f"{occ.f2f_use[ix, iy]:.0f} F2F crossings exceed the "
+                    f"{grid.f2f_capacity[ix, iy]:.1f} bond sites of this "
+                    "GCell"
+                ),
+                layer="F2F_VIA",
+                gcell=(ix, iy),
+            )
+        )
+    return violations
+
+
+def check_via_stacks(
+    assignment: LayerAssignment, grid: RoutingGrid
+) -> List[Violation]:
+    """Structural legality of every recorded via stack."""
+    violations: List[Violation] = []
+    top = grid.num_layers - 1
+    boundary = grid.f2f_boundary
+    for name, edges in assignment.edges.items():
+        for assigned in edges:
+            path: Optional[Set[Tuple[int, int]]] = (
+                set(assigned.edge.path) if assigned.edge.path else None
+            )
+            crossings = 0
+            for (gcell, lo, hi) in assigned.vias:
+                if not (0 <= lo < hi <= top):
+                    violations.append(
+                        Violation(
+                            kind="via",
+                            message=(
+                                f"via stack spans layers {lo}..{hi} outside "
+                                f"the 0..{top} metal stack"
+                            ),
+                            net=name,
+                            gcell=tuple(gcell),
+                        )
+                    )
+                    continue
+                if path is not None and tuple(gcell) not in path:
+                    violations.append(
+                        Violation(
+                            kind="via",
+                            message="via stack off the edge's routed path",
+                            net=name,
+                            gcell=tuple(gcell),
+                        )
+                    )
+                if boundary is not None and lo <= boundary < hi:
+                    crossings += 1
+            if crossings != assigned.f2f_count:
+                violations.append(
+                    Violation(
+                        kind="via",
+                        message=(
+                            f"edge records {assigned.f2f_count} F2F "
+                            f"crossing(s) but its via stacks span the bond "
+                            f"{crossings} time(s)"
+                        ),
+                        net=name,
+                    )
+                )
+    return violations
+
+
+def check_bookkeeping(
+    occ: DesignOccupancy, assignment: LayerAssignment
+) -> List[Violation]:
+    """Rebuilt occupancy vs. the grid/assignment's own counters."""
+    violations: List[Violation] = []
+    grid = occ.grid
+    bad = np.argwhere(np.abs(occ.layer_use - grid.layer_usage) > _TOL)
+    for l, ix, iy in bad[:20]:
+        l, ix, iy = int(l), int(ix), int(iy)
+        violations.append(
+            Violation(
+                kind="mismatch",
+                message=(
+                    f"grid records {grid.layer_usage[l, ix, iy]:.1f} "
+                    f"track(s), assignment runs rebuild "
+                    f"{occ.layer_use[l, ix, iy]:.1f}"
+                ),
+                layer=grid.layers[l].name,
+                gcell=(ix, iy),
+            )
+        )
+    if grid.f2f_usage is not None:
+        bad_f2f = np.argwhere(np.abs(occ.f2f_use - grid.f2f_usage) > _TOL)
+        for ix, iy in bad_f2f[:20]:
+            ix, iy = int(ix), int(iy)
+            violations.append(
+                Violation(
+                    kind="mismatch",
+                    message=(
+                        f"grid records {grid.f2f_usage[ix, iy]:.0f} F2F "
+                        f"via(s), via records rebuild "
+                        f"{occ.f2f_use[ix, iy]:.0f}"
+                    ),
+                    layer="F2F_VIA",
+                    gcell=(ix, iy),
+                )
+            )
+        rebuilt_total = int(round(float(occ.f2f_use.sum())))
+        for label, value in (
+            ("assignment.total_f2f", assignment.total_f2f),
+            ("grid.total_f2f_vias()", grid.total_f2f_vias()),
+        ):
+            if value != rebuilt_total:
+                violations.append(
+                    Violation(
+                        kind="mismatch",
+                        message=(
+                            f"{label} = {value} but via records rebuild "
+                            f"{rebuilt_total} bond crossings"
+                        ),
+                    )
+                )
+    return violations
+
+
+def check_placement(
+    netlist: Netlist,
+    placement: Placement,
+    floorplan: Floorplan,
+    grid: RoutingGrid,
+    die1_cells: Optional[Set[str]] = None,
+    die1_macros: Optional[Set[str]] = None,
+) -> List[Violation]:
+    """Standard cells inside the outline and off same-die macro substrate.
+
+    ``die1_cells`` / ``die1_macros`` carry the tier split of the S2D/C2D
+    final designs; without them everything is checked against one die —
+    correct for 2D and for Macro-3D, where the projected floorplan's
+    substrate rects (filler-shrunk for macro-die macros) all live on the
+    logic die.
+    """
+    die1_cells = die1_cells or set()
+    die1_macros = die1_macros or set()
+    outline = floorplan.outline
+    violations: List[Violation] = []
+    substrates = [
+        (name, rect, 1 if name in die1_macros else 0)
+        for name, rect in floorplan.substrate_rects.items()
+    ]
+    for inst in netlist.std_cells():
+        x = placement.x[inst.id]
+        y = placement.y[inst.id]
+        if not (
+            outline.xlo - _TOL <= x <= outline.xhi + _TOL
+            and outline.ylo - _TOL <= y <= outline.yhi + _TOL
+        ):
+            violations.append(
+                Violation(
+                    kind="placement",
+                    message=f"cell {inst.name} at ({x:.2f}, {y:.2f}) "
+                    "outside the die outline",
+                    gcell=grid.gcell_of(x, y),
+                )
+            )
+            continue
+        die = 1 if inst.name in die1_cells else 0
+        for macro_name, rect, macro_die in substrates:
+            if macro_die != die:
+                continue
+            if (
+                rect.xlo + _TOL < x < rect.xhi - _TOL
+                and rect.ylo + _TOL < y < rect.yhi - _TOL
+            ):
+                violations.append(
+                    Violation(
+                        kind="placement",
+                        message=(
+                            f"cell {inst.name} at ({x:.2f}, {y:.2f}) inside "
+                            f"macro {macro_name} substrate"
+                        ),
+                        gcell=grid.gcell_of(x, y),
+                    )
+                )
+                break
+    return violations
+
+
+def congestion_stats(occ: DesignOccupancy) -> Dict[str, float]:
+    """Informational congestion quantities (never violations)."""
+    grid = occ.grid
+    cap = grid.layer_capacity
+    open_cells = ~occ.blocked
+    over = np.clip(occ.layer_use - cap, 0.0, None)
+    util = np.where(cap > 0, occ.layer_use / np.maximum(cap, _TOL), 0.0)
+    stats = {
+        "congested_cells": float((over[open_cells] > _TOL).sum()),
+        "overflow_tracks": float(over[open_cells].sum()),
+        "max_layer_utilization": float(util[open_cells].max())
+        if open_cells.any()
+        else 0.0,
+        "shared_net_cells": float(occ.shared.sum()),
+    }
+    if grid.f2f_capacity is not None:
+        stats["f2f_crossings"] = float(occ.f2f_use.sum())
+        stats["f2f_peak_per_gcell"] = float(occ.f2f_use.max())
+        stats["f2f_sites_per_gcell"] = float(grid.f2f_capacity[0, 0])
+    return stats

@@ -1,0 +1,161 @@
+"""Seeded fault injection for exercising the verification engine.
+
+Each injector plants exactly one violation class into a routed design's
+``(grid, assignment)`` state, *keeping the bookkeeping consistent* —
+grid usage planes, via records, and counters are corrupted together the
+way a real bug in routing or layer assignment would corrupt them.  That
+matters: sloppy injection (say, editing the assignment but not the
+grid) trips the ``mismatch`` cross-checks too, and the test could no
+longer claim the engine classifies faults exactly.
+
+Injectors mutate in place; callers clone first (:func:`clone_routing_
+state`) so shared fixtures stay pristine.  Selection is driven by
+``random.Random(seed)`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Any, Dict, Tuple
+
+from repro.drc.occupancy import _keepout_mask
+from repro.floorplan.floorplan import Floorplan
+from repro.netlist.core import Netlist
+from repro.route.grid import RoutingGrid
+from repro.route.layer_assign import AssignedRun, LayerAssignment
+from repro.tech.layers import LayerDirection
+
+
+def clone_routing_state(
+    grid: RoutingGrid, assignment: LayerAssignment
+) -> Tuple[RoutingGrid, LayerAssignment]:
+    """Deep copies safe to corrupt (fixtures stay read-only)."""
+    return copy.deepcopy(grid), copy.deepcopy(assignment)
+
+
+def inject_open(
+    grid: RoutingGrid, assignment: LayerAssignment, seed: int = 0
+) -> Dict[str, Any]:
+    """Drop one routed segment (a whole assigned edge) — an **open**.
+
+    The edge's usage and F2F crossings are released from the grid, as if
+    the router had simply never drawn it.
+    """
+    rng = random.Random(seed)
+    candidates = [
+        (name, i)
+        for name, edges in assignment.edges.items()
+        for i, assigned in enumerate(edges)
+        if assigned.runs and len(assigned.edge.path) >= 2
+    ]
+    name, index = rng.choice(candidates)
+    dropped = assignment.edges[name].pop(index)
+    for run in dropped.runs:
+        for (ix, iy) in run.gcells[:-1]:
+            grid.layer_usage[run.layer, ix, iy] -= 1.0
+    boundary = grid.f2f_boundary
+    if boundary is not None:
+        for (gcell, lo, hi) in dropped.vias:
+            if lo <= boundary < hi:
+                grid.f2f_usage[gcell[0], gcell[1]] -= 1.0
+                assignment.total_f2f -= 1
+    assignment.total_vias -= dropped.via_count
+    return {"net": name, "edge_index": index}
+
+
+def inject_short(
+    grid: RoutingGrid, assignment: LayerAssignment, seed: int = 0
+) -> Dict[str, Any]:
+    """Strip a used GCell's tracks to zero — a **short**.
+
+    Models routing resources that never existed (a missed obstruction,
+    a PDN strap): the wire already drawn through the cell now shorts
+    against the blocking metal.
+    """
+    rng = random.Random(seed)
+    candidates = []
+    for name, edges in assignment.edges.items():
+        for assigned in edges:
+            for run in assigned.runs:
+                for gcell in run.gcells[:-1]:
+                    candidates.append((name, run.layer, gcell))
+    name, layer, (ix, iy) = rng.choice(candidates)
+    grid.layer_capacity[layer, ix, iy] = 0.0
+    grid._rebuild_2d()
+    return {
+        "net": name,
+        "layer": grid.layers[layer].name,
+        "gcell": (ix, iy),
+    }
+
+
+def inject_keepout(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    grid: RoutingGrid,
+    assignment: LayerAssignment,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Draw a wire across a macro's ``_MD`` obstruction — a **keepout**."""
+    rng = random.Random(seed)
+    mask = _keepout_mask(netlist, floorplan, grid)
+    cells = [tuple(map(int, c)) for c in zip(*mask.nonzero())]
+    if not cells:
+        raise ValueError("design has no macro-die keepout cells")
+    l, ix, iy = cells[rng.randrange(len(cells))]
+    if grid.layers[l].direction is LayerDirection.HORIZONTAL:
+        neighbor = (min(ix + 1, grid.nx - 1), iy)
+        if neighbor == (ix, iy):
+            neighbor = (ix - 1, iy)
+    else:
+        neighbor = (ix, min(iy + 1, grid.ny - 1))
+        if neighbor == (ix, iy):
+            neighbor = (ix, iy - 1)
+    name = rng.choice(
+        [n for n, edges in assignment.edges.items() if edges]
+    )
+    victim = assignment.edges[name][0]
+    victim.runs.append(
+        AssignedRun(l, [(ix, iy), neighbor], length=grid.gcell)
+    )
+    grid.layer_usage[l, ix, iy] += 1.0
+    return {"net": name, "layer": grid.layers[l].name, "gcell": (ix, iy)}
+
+
+def inject_f2f_overbook(
+    grid: RoutingGrid, assignment: LayerAssignment, seed: int = 0
+) -> Dict[str, Any]:
+    """Book more bond crossings into one GCell than it has sites —
+    **f2f_overflow**.
+
+    All counters stay consistent (edge, assignment, grid), exactly as if
+    layer assignment had legitimately funneled this many stacks through
+    one cell; only the physical site supply is violated.
+    """
+    boundary = grid.f2f_boundary
+    if boundary is None or grid.f2f_capacity is None:
+        raise ValueError("design has no F2F bond to overbook")
+    rng = random.Random(seed)
+    candidates = [
+        (name, i)
+        for name, edges in assignment.edges.items()
+        for i, assigned in enumerate(edges)
+        if assigned.f2f_count > 0
+    ]
+    name, index = rng.choice(candidates)
+    victim = assignment.edges[name][index]
+    gcell = next(
+        g for (g, lo, hi) in victim.vias if lo <= boundary < hi
+    )
+    ix, iy = gcell
+    deficit = grid.f2f_capacity[ix, iy] - grid.f2f_usage[ix, iy]
+    extra = max(1, int(deficit) + 2)
+    for _ in range(extra):
+        victim.vias.append((gcell, boundary, boundary + 1))
+    victim.f2f_count += extra
+    victim.via_count += extra
+    assignment.total_f2f += extra
+    assignment.total_vias += extra
+    grid.f2f_usage[ix, iy] += extra
+    return {"net": name, "gcell": (ix, iy), "extra": extra}

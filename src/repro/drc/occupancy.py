@@ -1,0 +1,208 @@
+"""Flat per-design occupancy/ownership arrays the checks run on.
+
+Built once per verification (mirroring the batched-index idiom of
+``repro.netlist.index``): every check then reduces over NumPy planes
+instead of walking Python objects, which keeps full-design verification
+sub-second on the small benchmark tiers.
+
+Everything here is **re-derived from the assignment's runs and via
+records** — deliberately not read from ``grid.layer_usage`` /
+``grid.f2f_usage`` — so comparing the rebuilt planes against the grid's
+own bookkeeping is itself a check (see ``geometry.check_bookkeeping``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cells.macro import Macro
+from repro.floorplan.floorplan import Floorplan
+from repro.netlist.core import Instance, Netlist, Port
+from repro.place.global_place import Placement
+from repro.route.grid import RoutingGrid
+from repro.route.layer_assign import LayerAssignment
+from repro.tech.beol import MACRO_DIE_SUFFIX
+
+#: Below this many signal tracks a GCell is *blocked*: the same
+#: threshold the layer assigner treats as impassable, so any usage on
+#: such a cell is wire the grid says cannot exist — a physical short
+#: against the blocking metal (macro obstruction, PDN).
+CAP_EPS = 0.05
+
+#: A GCell counts as inside an obstruction once this fraction of its
+#: area is covered (border cells keep partial capacity and stay legal).
+_COVER_EPS = 0.99
+
+
+@dataclass
+class DesignOccupancy:
+    """Rebuilt routing occupancy plus classification masks."""
+
+    grid: RoutingGrid
+    #: Rebuilt wire usage per (layer, ix, iy), same semantics as the
+    #: assigner's dual-write (one track per run per entered GCell).
+    layer_use: np.ndarray
+    #: Rebuilt F2F crossings per GCell from explicit via records.
+    f2f_use: np.ndarray
+    #: True where a layer's GCell has no usable signal tracks.
+    blocked: np.ndarray
+    #: Macro-die keepout subset of ``blocked``: ``_MD`` layers inside a
+    #: macro's substrate/obstruction footprint.
+    keepout: np.ndarray
+    #: Net index (into ``net_names``) of the first wire in each cell,
+    #: -1 where empty.
+    owner: np.ndarray
+    #: True where two or more *distinct* nets occupy one (layer, GCell).
+    shared: np.ndarray
+    #: Net index -> name, in assignment iteration order.
+    net_names: List[str] = field(default_factory=list)
+
+    def owner_name(self, layer: int, ix: int, iy: int) -> Optional[str]:
+        index = int(self.owner[layer, ix, iy])
+        return self.net_names[index] if index >= 0 else None
+
+
+def build_occupancy(
+    netlist: Netlist,
+    floorplan: Floorplan,
+    grid: RoutingGrid,
+    assignment: LayerAssignment,
+) -> DesignOccupancy:
+    """Scan every assigned run/via once into flat planes."""
+    shape = (grid.num_layers, grid.nx, grid.ny)
+    layer_use = np.zeros(shape)
+    owner = np.full(shape, -1, dtype=np.int64)
+    shared = np.zeros(shape, dtype=bool)
+    f2f_use = np.zeros((grid.nx, grid.ny))
+    boundary = grid.f2f_boundary
+
+    net_names: List[str] = []
+    for net_index, (name, edges) in enumerate(assignment.edges.items()):
+        net_names.append(name)
+        for assigned in edges:
+            for run in assigned.runs:
+                l = run.layer
+                for (ix, iy) in run.gcells[:-1]:
+                    layer_use[l, ix, iy] += 1.0
+                    current = owner[l, ix, iy]
+                    if current < 0:
+                        owner[l, ix, iy] = net_index
+                    elif current != net_index:
+                        shared[l, ix, iy] = True
+            if boundary is not None:
+                for (gcell, lo, hi) in assigned.vias:
+                    if lo <= boundary < hi:
+                        f2f_use[gcell[0], gcell[1]] += 1.0
+
+    blocked = grid.layer_capacity <= CAP_EPS
+    keepout = _keepout_mask(netlist, floorplan, grid)
+    return DesignOccupancy(
+        grid=grid,
+        layer_use=layer_use,
+        f2f_use=f2f_use,
+        blocked=blocked,
+        keepout=keepout,
+        owner=owner,
+        shared=shared,
+        net_names=net_names,
+    )
+
+
+def _keepout_mask(
+    netlist: Netlist, floorplan: Floorplan, grid: RoutingGrid
+) -> np.ndarray:
+    """GCells of ``_MD`` layers inside macro obstruction footprints.
+
+    Only cells (almost) fully covered count: border cells keep partial
+    capacity, so routing there is legal and must not be flagged.
+    """
+    mask = np.zeros((grid.num_layers, grid.nx, grid.ny), dtype=bool)
+    cell_area = grid.gcell * grid.gcell
+    for name, rect in floorplan.macro_placements.items():
+        try:
+            inst = netlist.instance(name)
+        except KeyError:
+            continue
+        master = inst.master
+        if not isinstance(master, Macro):
+            continue
+        for obs in master.obstructions:
+            if not obs.layer.endswith(MACRO_DIE_SUFFIX):
+                continue
+            try:
+                l = grid.stack.routing_index(obs.layer)
+            except KeyError:
+                continue
+            placed = obs.rect.translated(rect.xlo, rect.ylo)
+            x0, y0 = grid.gcell_of(placed.xlo, placed.ylo)
+            x1, y1 = grid.gcell_of(placed.xhi - 1e-9, placed.yhi - 1e-9)
+            for ix in range(x0, x1 + 1):
+                for iy in range(y0, y1 + 1):
+                    cell = grid.gcell_rect(ix, iy)
+                    if cell.overlap_area(placed) >= _COVER_EPS * cell_area:
+                        mask[l, ix, iy] = True
+    return mask
+
+
+# -- terminal resolution ---------------------------------------------------------------
+
+
+class TerminalResolver:
+    """Maps net terminals to (layer, GCell) nodes.
+
+    Re-implements the assigner's terminal rules from the netlist and
+    technology alone — macro pins on their declared layer, top-die cells
+    on the merged stack's last routing layer, standard cells on M1,
+    ports on their constraint layer (else the top logic metal) — so the
+    connectivity check does not inherit a bug from the code it audits.
+    """
+
+    def __init__(
+        self,
+        placement: Placement,
+        grid: RoutingGrid,
+        die1_cells: Optional[Set[str]] = None,
+    ):
+        self.placement = placement
+        self.grid = grid
+        self.die1_cells = die1_cells or set()
+        boundary = grid.f2f_boundary
+        self._top_logic = (
+            boundary if boundary is not None else grid.num_layers - 1
+        )
+
+    def layer_of(self, term: Tuple[object, str]) -> int:
+        obj, pin = term
+        if isinstance(obj, Instance):
+            if obj.is_macro:
+                master = obj.master
+                assert isinstance(master, Macro)
+                return self.grid.stack.routing_index(master.pin(pin).layer)
+            if obj.name in self.die1_cells:
+                return self.grid.num_layers - 1
+            return 0
+        assert isinstance(obj, Port)
+        layer_name = obj.constraint.layer if obj.constraint else None
+        if layer_name and layer_name in self.grid.stack:
+            return self.grid.stack.routing_index(layer_name)
+        return self._top_logic
+
+    def node_of(self, term: Tuple[object, str]) -> Tuple[int, int, int]:
+        point = self.placement.term_position(term)
+        ix, iy = self.grid.gcell_of(point.x, point.y)
+        return (self.layer_of(term), ix, iy)
+
+    def spans_bond(self, net) -> bool:
+        """True when the net has terminals on both sides of the bond."""
+        if self.grid.f2f_boundary is None:
+            return False
+        above = below = False
+        for term in net.terms:
+            if self.layer_of(term) > self._top_logic:
+                above = True
+            else:
+                below = True
+        return above and below

@@ -1,0 +1,249 @@
+"""The typed violation report the verification engine emits.
+
+A :class:`DrcReport` is the unit the flows attach to their results, the
+``verify`` CLI serializes, and the bench QoR block summarizes.  Each
+:class:`Violation` carries a machine-sortable *kind* so fault-injection
+tests can assert exact classification:
+
+=============== ======================================================
+kind            meaning
+=============== ======================================================
+``open``        a net's terminals are not one connected component
+``short``       routed usage on a GCell with zero signal tracks
+``keepout``     the macro-die subset of ``short``: routing on an
+                ``_MD`` layer inside a macro's substrate footprint
+``f2f_overflow``more F2F crossings in a GCell than the bonding pitch
+                provides sites for
+``via``         a via stack that is malformed or whose recorded F2F
+                crossing count disagrees with its layer span
+``placement``   a standard cell outside the outline or inside a
+                same-die macro substrate
+``mismatch``    independent re-derivation disagrees with the grid /
+                assignment bookkeeping (internal consistency)
+=============== ======================================================
+
+The JSON form round-trips (``from_json(to_json(r))``) so a report file
+is enough to re-render the SVG overlay or re-gate in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Stable order of violation kinds in summaries and legends.
+KINDS = (
+    "open",
+    "short",
+    "keepout",
+    "f2f_overflow",
+    "via",
+    "placement",
+    "mismatch",
+)
+
+
+@dataclass
+class Violation:
+    """One classified DRC/connectivity violation."""
+
+    kind: str
+    message: str
+    net: Optional[str] = None
+    layer: Optional[str] = None
+    gcell: Optional[Tuple[int, int]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "net": self.net,
+            "layer": self.layer,
+            "gcell": None if self.gcell is None else list(self.gcell),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Violation":
+        gcell = data.get("gcell")
+        return Violation(
+            kind=data["kind"],
+            message=data.get("message", ""),
+            net=data.get("net"),
+            layer=data.get("layer"),
+            gcell=None if gcell is None else (int(gcell[0]), int(gcell[1])),
+        )
+
+
+@dataclass
+class DrcReport:
+    """All violations plus informational statistics of one design."""
+
+    design: str = ""
+    flow: str = ""
+    violations: List[Violation] = field(default_factory=list)
+    #: Informational quantities (congestion overflow, F2F crossings,
+    #: shared-cell counts, ...) — reported, never gated here.
+    stats: Dict[str, float] = field(default_factory=dict)
+    nets_checked: int = 0
+
+    # -- summaries -----------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return len(self.violations)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_kind(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in KINDS}
+        for violation in self.violations:
+            counts[violation.kind] = counts.get(violation.kind, 0) + 1
+        return counts
+
+    def count(self, *kinds: str) -> int:
+        return sum(1 for v in self.violations if v.kind in kinds)
+
+    @property
+    def opens(self) -> int:
+        return self.count("open")
+
+    @property
+    def shorts(self) -> int:
+        """Physical shorts: blocked-cell routing, macro-die keepouts."""
+        return self.count("short", "keepout")
+
+    @property
+    def f2f_overflow(self) -> int:
+        return self.count("f2f_overflow")
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.drc/v1",
+            "design": self.design,
+            "flow": self.flow,
+            "nets_checked": self.nets_checked,
+            "total": self.total,
+            "by_kind": {k: v for k, v in self.by_kind().items() if v},
+            "violations": [v.to_dict() for v in self.violations],
+            "stats": dict(sorted(self.stats.items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "DrcReport":
+        return DrcReport(
+            design=data.get("design", ""),
+            flow=data.get("flow", ""),
+            violations=[
+                Violation.from_dict(v) for v in data.get("violations", [])
+            ],
+            stats={k: float(v) for k, v in data.get("stats", {}).items()},
+            nets_checked=int(data.get("nets_checked", 0)),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "DrcReport":
+        return DrcReport.from_dict(json.loads(text))
+
+
+def format_report(report: DrcReport, limit: int = 10) -> str:
+    """Human-readable summary: verdict, per-kind counts, first details."""
+    head = f"== DRC {report.flow or report.design} =="
+    verdict = (
+        "CLEAN" if report.clean else f"{report.total} violation(s)"
+    )
+    lines = [head, f"nets checked: {report.nets_checked}   result: {verdict}"]
+    for kind, count in report.by_kind().items():
+        if count:
+            lines.append(f"  {kind:<14s} {count}")
+    for violation in report.violations[:limit]:
+        where = ""
+        if violation.layer:
+            where += f" layer={violation.layer}"
+        if violation.gcell is not None:
+            where += f" gcell={violation.gcell}"
+        if violation.net:
+            where += f" net={violation.net}"
+        lines.append(f"  [{violation.kind}]{where}: {violation.message}")
+    if report.total > limit:
+        lines.append(f"  ... and {report.total - limit} more")
+    if report.stats:
+        lines.append("stats:")
+        for key in sorted(report.stats):
+            lines.append(f"  {key:<28s} {report.stats[key]:g}")
+    return "\n".join(lines)
+
+
+#: Marker colors of the SVG overlay, by kind.
+_KIND_COLORS = {
+    "open": "#d62728",
+    "short": "#ff7f0e",
+    "keepout": "#9467bd",
+    "f2f_overflow": "#1f77b4",
+    "via": "#8c564b",
+    "placement": "#e377c2",
+    "mismatch": "#2ca02c",
+}
+
+
+def render_drc_svg(grid, report: DrcReport, cell_px: int = 6) -> str:
+    """Violation overlay on the GCell grid, reusing the bench SVG idiom.
+
+    Clean designs render the empty grid with a "clean" caption — the
+    artifact is still written so its presence alone confirms the check
+    ran.
+    """
+    # Import inside the function: repro.bench.__init__ pulls in the
+    # runner (and thus the flows), which import this package.
+    from repro.bench.svg import _svg_document
+
+    from xml.sax.saxutils import escape
+
+    nx, ny = grid.nx, grid.ny
+    pad, top, legend_h = 18, 34, 16 + 14 * len(KINDS)
+    panel_w, panel_h = nx * cell_px, ny * cell_px
+    width = pad * 2 + panel_w
+    height = top + panel_h + pad + legend_h
+    title = (
+        f"{report.flow or report.design} — DRC "
+        + ("clean" if report.clean else f"{report.total} violation(s)")
+    )
+    body = [
+        f'<text x="{pad}" y="22" font-family="monospace" font-size="14">'
+        f"{escape(title)}</text>",
+        f'<rect x="{pad}" y="{top}" width="{panel_w}" height="{panel_h}" '
+        'fill="#f4f4f4" stroke="#333333"/>',
+    ]
+    for violation in report.violations:
+        if violation.gcell is None:
+            continue
+        ix, iy = violation.gcell
+        if not (0 <= ix < nx and 0 <= iy < ny):
+            continue
+        color = _KIND_COLORS.get(violation.kind, "#000000")
+        # SVG y grows downward; flip so iy=0 is the bottom row.
+        body.append(
+            f'<rect x="{pad + ix * cell_px}" '
+            f'y="{top + (ny - 1 - iy) * cell_px}" '
+            f'width="{cell_px}" height="{cell_px}" fill="{color}"/>'
+        )
+    counts = report.by_kind()
+    ly = top + panel_h + pad
+    for i, kind in enumerate(KINDS):
+        y = ly + 14 * i
+        body.append(
+            f'<rect x="{pad}" y="{y}" width="10" height="10" '
+            f'fill="{_KIND_COLORS[kind]}"/>'
+        )
+        body.append(
+            f'<text x="{pad + 16}" y="{y + 9}" font-family="monospace" '
+            f'font-size="10">{escape(kind)}: {counts.get(kind, 0)}</text>'
+        )
+    return _svg_document(width, height, body)

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cells.library import StdCellLibrary
 from repro.cells.macro import Macro
+from repro.drc.engine import run_drc
+from repro.drc.report import DrcReport
 from repro.extract.rc import DesignParasitics, extract_design
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.pins import place_ports, validate_alignment
@@ -82,6 +84,8 @@ class FlowResult:
     legalization: Optional[LegalizeResult] = None
     #: F2F bumps added outside routing (planner bumps, clock bumps).
     extra_f2f: int = 0
+    #: Signoff verification report (geometry DRC + connectivity).
+    drc: Optional[DrcReport] = None
 
 
 # -- stages --------------------------------------------------------------------------
@@ -281,6 +285,40 @@ def signoff_design(
     return Signoff(slow, typical, plan, sizing, sta, power, constraints)
 
 
+def verify_design(
+    netlist: Netlist,
+    placement: Placement,
+    floorplan: Floorplan,
+    grid: RoutingGrid,
+    routed: Dict[str, RoutedNet],
+    assignment: LayerAssignment,
+    die1_cells: Optional[Set[str]] = None,
+    die1_macros: Optional[Set[str]] = None,
+    flow: str = "",
+    design: str = "",
+) -> DrcReport:
+    """Signoff verification: geometry DRC + connectivity on the final
+    routed design.
+
+    Every flow runs this last — for Macro-3D it is the measured form of
+    the "directly valid in 3D" claim, for S2D/C2D it audits what their
+    fix-up passes (overlap fix, F2F planning, re-route) left behind.
+    """
+    with span("verify", nets=len(routed)):
+        return run_drc(
+            netlist,
+            placement,
+            floorplan,
+            grid,
+            routed,
+            assignment,
+            die1_cells=die1_cells,
+            die1_macros=die1_macros,
+            flow=flow,
+            design=design,
+        )
+
+
 # -- summary -----------------------------------------------------------------------------
 
 
@@ -298,6 +336,7 @@ def summarize_flow(
     total_metal_layers: int,
     options: FlowOptions,
     extra_f2f: int = 0,
+    drc: Optional[DrcReport] = None,
 ) -> PPASummary:
     """Assemble the paper-style PPA summary of one flow run."""
     fclk = (
@@ -353,4 +392,8 @@ def summarize_flow(
         detour_factor=detour,
         num_repeaters=signoff.plan.num_repeaters,
         power_uw=signoff.power.total_power_uw(fclk),
+        drc_total=drc.total if drc else 0,
+        opens=drc.opens if drc else 0,
+        shorts=drc.shorts if drc else 0,
+        f2f_overflow=drc.f2f_overflow if drc else 0,
     )

@@ -17,6 +17,7 @@ from repro.flows.base import (
     signoff_design,
     summarize_flow,
     synthesize_clock,
+    verify_design,
 )
 from repro.floorplan.macro_placer import MacroPlacerOptions, place_macros_2d
 from repro.netlist.openpiton import Tile, TileConfig, build_tile
@@ -62,6 +63,16 @@ def run_flow_2d(
         signoff = signoff_design(
             netlist, tile.library, routed, assignment, tech, clock_tree, options
         )
+    drc = verify_design(
+        netlist,
+        placement,
+        floorplan,
+        grid,
+        routed,
+        assignment,
+        flow="2d",
+        design=netlist.name,
+    )
     summary = summarize_flow(
         flow="2D",
         design=netlist.name,
@@ -75,6 +86,7 @@ def run_flow_2d(
         num_dies=1,
         total_metal_layers=tech.stack.num_routing_layers,
         options=options,
+        drc=drc,
     )
     return FlowResult(
         flow="2D",
@@ -91,4 +103,5 @@ def run_flow_2d(
         sizing=signoff.sizing,
         summary=summary,
         legalization=legal,
+        drc=drc,
     )

@@ -24,6 +24,8 @@ from dataclasses import replace as dc_replace
 
 from repro.cells.macro import Macro
 from repro.cells.stdcell import StdCell
+from repro.drc.connectivity import count_die_crossing_opens
+from repro.drc.geometry import check_placement
 from repro.extract.rc import DesignParasitics
 from repro.flows.base import (
     FlowOptions,
@@ -32,6 +34,7 @@ from repro.flows.base import (
     signoff_design,
     summarize_flow,
     synthesize_clock,
+    verify_design,
 )
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.pins import place_ports
@@ -161,6 +164,14 @@ def finalize_two_die(
     for inst in netlist.std_cells():
         die_cells[partition.assignment.get(inst.name, 0)].add(inst.name)
 
+    # Snapshot the pre-fix-up state: after tier assignment but before
+    # overlap fixing and F2F planning, this is where the 2D result is
+    # *not* valid in 3D — cells overlap macros on their die, and every
+    # cut net is still electrically open.  Audited below once the final
+    # grid exists; the violation counts feed the EXPERIMENTS table.
+    prefix_snapshot = final.copy()
+    prefix_3d_opens = count_die_crossing_opens(netlist, partition.assignment)
+
     forced = 0
     displacement_total = 0.0
     legal_results = []
@@ -225,6 +236,22 @@ def finalize_two_die(
             believed=believed,
             post_opt=post_opt,
         )
+    die1_macros = set(die1_fp.macro_placements)
+    drc = verify_design(
+        netlist,
+        final,
+        combined,
+        grid,
+        routed,
+        assignment,
+        die1_cells=die_cells[1],
+        die1_macros=die1_macros,
+        flow=flow_name,
+        design=netlist.name,
+    )
+    prefix_placement = check_placement(
+        netlist, prefix_snapshot, combined, grid, die_cells[1], die1_macros
+    )
     summary = summarize_flow(
         flow=flow_name,
         design=netlist.name,
@@ -241,11 +268,14 @@ def finalize_two_die(
             + macro_tech.stack.num_routing_layers
         ),
         options=options,
+        drc=drc,
     )
     summary.extras["planner_bumps"] = float(f2f_plan.total_bumps)
     summary.extras["cut_nets"] = float(partition.cut_nets)
     summary.extras["forced_cells"] = float(forced)
     summary.extras["legalize_displacement_um"] = displacement_total
+    summary.extras["prefix_placement_violations"] = float(len(prefix_placement))
+    summary.extras["prefix_3d_opens"] = float(prefix_3d_opens)
     result = FlowResult(
         flow=flow_name,
         design=netlist.name,
@@ -261,6 +291,7 @@ def finalize_two_die(
         sizing=signoff.sizing,
         summary=summary,
         legalization=legal_results[0],
+        drc=drc,
     )
     return TwoDieFinal(
         result=result,

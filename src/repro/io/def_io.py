@@ -20,17 +20,45 @@ import numpy as np
 from repro.floorplan.floorplan import Floorplan
 from repro.place.global_place import Placement
 from repro.route.global_route import RoutedNet
+from repro.route.layer_assign import LayerAssignment
 
 #: Glyph ramp for density maps, light to dark.
 _RAMP = " .:-=+*#%@"
+
+
+def _straight_spans(gcells) -> List[Tuple[int, int, int, int]]:
+    """Split a run's GCell walk into maximal straight spans."""
+    spans: List[Tuple[int, int, int, int]] = []
+    start = prev = gcells[0]
+    heading = None
+    for cell in gcells[1:]:
+        step = (cell[0] - prev[0], cell[1] - prev[1])
+        if heading is not None and step != heading:
+            spans.append((start[0], start[1], prev[0], prev[1]))
+            start = prev
+        heading = step
+        prev = cell
+    spans.append((start[0], start[1], prev[0], prev[1]))
+    return spans
 
 
 def write_def(
     design: str,
     placement: Placement,
     routed: Optional[Dict[str, RoutedNet]] = None,
+    assignment: Optional[LayerAssignment] = None,
+    layer_names: Optional[List[str]] = None,
 ) -> str:
-    """Serialise a placement (and routed net lengths) to DEF-like text."""
+    """Serialise a placement (and routed net lengths) to DEF-like text.
+
+    With ``assignment`` and ``layer_names``, each net also carries
+    ``ROUTED`` segment and ``VIA`` stack clauses in GCell coordinates —
+    enough geometry for ``repro.drc.check_def_connectivity`` to replay
+    the connectivity check from the snapshot alone.  Without them the
+    output is byte-identical to the historical format.
+    """
+    if assignment is not None and layer_names is None:
+        raise ValueError("write_def: assignment requires layer_names")
     floorplan = placement.floorplan
     outline = floorplan.outline
     lines: List[str] = [f"DESIGN {design}"]
@@ -55,6 +83,24 @@ def write_def(
                 f"  NET {name} DEGREE {net.net.degree} "
                 f"WIRELENGTH {net.wirelength:.3f}"
             )
+            if assignment is None:
+                continue
+            edges = assignment.edges.get(name, [])
+            # Routes before vias, matching DefDesign.dumps so the
+            # round-trip stays a byte-level fixed point.
+            for assigned in edges:
+                for run in assigned.runs:
+                    layer = layer_names[run.layer]
+                    for x0, y0, x1, y1 in _straight_spans(run.gcells):
+                        lines.append(
+                            f"    ROUTED {layer} {x0} {y0} {x1} {y1}"
+                        )
+            for assigned in edges:
+                for (gcell, lo, hi) in assigned.vias:
+                    lines.append(
+                        f"    VIA {layer_names[lo]} {layer_names[hi]} "
+                        f"{gcell[0]} {gcell[1]}"
+                    )
         lines.append("END NETS")
     lines.append("END DESIGN")
     return "\n".join(lines) + "\n"
@@ -73,12 +119,35 @@ class DefComponent:
 
 
 @dataclass
+class DefRoute:
+    """One straight ``ROUTED`` span in GCell coordinates."""
+
+    layer: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+
+@dataclass
+class DefVia:
+    """One ``VIA`` stack between two layers at a GCell."""
+
+    lower: str
+    upper: str
+    x: int
+    y: int
+
+
+@dataclass
 class DefNet:
-    """One routed net line of a DEF snapshot."""
+    """One routed net of a DEF snapshot (plus optional geometry)."""
 
     name: str
     degree: int
     wirelength: float
+    routes: List[DefRoute] = field(default_factory=list)
+    vias: List[DefVia] = field(default_factory=list)
 
 
 @dataclass
@@ -120,6 +189,15 @@ class DefDesign:
                     f"  NET {net.name} DEGREE {net.degree} "
                     f"WIRELENGTH {net.wirelength:.3f}"
                 )
+                for seg in net.routes:
+                    lines.append(
+                        f"    ROUTED {seg.layer} {seg.x0} {seg.y0} "
+                        f"{seg.x1} {seg.y1}"
+                    )
+                for via in net.vias:
+                    lines.append(
+                        f"    VIA {via.lower} {via.upper} {via.x} {via.y}"
+                    )
             lines.append("END NETS")
         lines.append("END DESIGN")
         return "\n".join(lines) + "\n"
@@ -163,6 +241,23 @@ def read_def(text: str) -> DefDesign:
                     name=tokens[1],
                     degree=int(tokens[3]),
                     wirelength=float(tokens[5]),
+                )
+            )
+        elif head == "ROUTED":
+            assert nets, "ROUTED line outside a NET"
+            nets[-1].routes.append(
+                DefRoute(
+                    layer=tokens[1],
+                    x0=int(tokens[2]), y0=int(tokens[3]),
+                    x1=int(tokens[4]), y1=int(tokens[5]),
+                )
+            )
+        elif head == "VIA":
+            assert nets, "VIA line outside a NET"
+            nets[-1].vias.append(
+                DefVia(
+                    lower=tokens[1], upper=tokens[2],
+                    x=int(tokens[3]), y=int(tokens[4]),
                 )
             )
     if design is None:

@@ -52,6 +52,13 @@ class PPASummary:
     detour_factor: float = 1.0
     num_repeaters: int = 0
     power_uw: float = 0.0
+    #: Signoff verification (``repro.drc``): total violations and the
+    #: headline classes.  ``shorts`` folds in macro-die keepout hits —
+    #: physically they are wire shorted against the macro's metal.
+    drc_total: int = 0
+    opens: int = 0
+    shorts: int = 0
+    f2f_overflow: int = 0
     extras: Dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> Dict[str, object]:

@@ -129,8 +129,28 @@ class RoutingGrid:
             else:
                 self.cap_v += self.layer_capacity[l]
 
+    def _check_block_args(self, rect: Rect, fraction: float, what: str) -> float:
+        """Validate a blockage request: clamp fraction, demand overlap.
+
+        ``gcell_of`` clamps coordinates to the grid, so a rect entirely
+        outside the outline would silently corrupt the border GCells'
+        capacity instead — reject it with a clear error.
+        """
+        if (
+            rect.xhi <= self.outline.xlo or rect.xlo >= self.outline.xhi
+            or rect.yhi <= self.outline.ylo or rect.ylo >= self.outline.yhi
+        ):
+            raise ValueError(
+                f"{what}: rect ({rect.xlo:.2f}, {rect.ylo:.2f}, "
+                f"{rect.xhi:.2f}, {rect.yhi:.2f}) does not intersect the "
+                f"die outline ({self.outline.xlo:.2f}, {self.outline.ylo:.2f}, "
+                f"{self.outline.xhi:.2f}, {self.outline.yhi:.2f})"
+            )
+        return min(1.0, max(0.0, fraction))
+
     def block_layer(self, layer_name: str, rect: Rect, fraction: float = 1.0) -> None:
         """Remove (a fraction of) one layer's capacity under ``rect``."""
+        fraction = self._check_block_args(rect, fraction, "block_layer")
         try:
             l = self.stack.routing_index(layer_name)
         except KeyError:
@@ -146,6 +166,7 @@ class RoutingGrid:
 
     def block_substrate(self, rect: Rect, fraction: float = 1.0) -> None:
         """Mark substrate under ``rect`` as macro-covered (no repeater sites)."""
+        fraction = self._check_block_args(rect, fraction, "block_substrate")
         x0, y0 = self.gcell_of(rect.xlo, rect.ylo)
         x1, y1 = self.gcell_of(rect.xhi - 1e-9, rect.yhi - 1e-9)
         for ix in range(x0, x1 + 1):

@@ -46,6 +46,10 @@ class AssignedEdge:
     capacitance: float = 0.0
     via_count: int = 0
     f2f_count: int = 0
+    #: Explicit via stacks: (gcell, lower layer, upper layer), one entry
+    #: per stack.  The signoff DRC re-derives connectivity and F2F
+    #: crossings from these instead of trusting the counters above.
+    vias: List[Tuple[GCell, int, int]] = field(default_factory=list)
 
 
 @dataclass
@@ -233,6 +237,8 @@ class LayerAssigner:
     ) -> None:
         """Account a via stack between two layers at one GCell."""
         lo, hi = min(layer_a, layer_b), max(layer_a, layer_b)
+        if hi > lo:
+            assigned.vias.append((gcell, lo, hi))
         for k in range(lo, hi):
             cut = self._cuts[k]
             assigned.resistance += cut.resistance

@@ -21,6 +21,25 @@ from repro.place.global_place import Placement
 from repro.tech.technology import F2FViaSpec
 from repro.tier.partition import PartitionResult
 
+#: Default cap on the site-search spiral.  At the 1 um bonding pitch a
+#: radius of 64 offers (2*64+1)^2 ≈ 16k sites around the ideal spot —
+#: hitting the cap means the bonding grid around a hotspot is genuinely
+#: exhausted, which should be an error, not an endless loop.
+DEFAULT_MAX_RADIUS = 64
+
+
+class F2FPlanError(RuntimeError):
+    """Bump-site search exhausted: no free bonding site within reach."""
+
+    def __init__(self, net: str, site: Tuple[int, int], max_radius: int):
+        super().__init__(
+            f"no free F2F bump site within radius {max_radius} of site "
+            f"{site} for net {net!r}; the bonding grid is saturated here"
+        )
+        self.net = net
+        self.site = site
+        self.max_radius = max_radius
+
 
 @dataclass
 class F2FPlan:
@@ -43,6 +62,7 @@ def plan_f2f_vias(
     placement: Placement,
     partition: PartitionResult,
     f2f: F2FViaSpec,
+    max_radius: int = DEFAULT_MAX_RADIUS,
 ) -> F2FPlan:
     """Plan bump locations for every die-crossing net.
 
@@ -51,7 +71,9 @@ def plan_f2f_vias(
     capacitance-weighted midpoint between the die-0 and die-1 clusters,
     snapped to the bonding grid.  Occupied sites overflow to the next
     free site on a small spiral — bump supply at 1 um pitch is plentiful,
-    the search is only to keep sites unique.
+    the search is only to keep sites unique.  A spiral that exceeds
+    ``max_radius`` raises :class:`F2FPlanError` naming the net and site
+    instead of looping forever on a saturated bonding grid.
     """
     plan = F2FPlan()
     occupied: Set[Tuple[int, int]] = set()
@@ -79,10 +101,12 @@ def plan_f2f_vias(
             + sum(p.y for p in groups[1]) / len(groups[1])
         ) / 2.0
         site = (int(round(mid_x / pitch)), int(round(mid_y / pitch)))
-        # Spiral to a free site.
+        # Spiral to a free site, bounded by max_radius.
         radius = 0
         placed = None
         while placed is None:
+            if radius > max_radius:
+                raise F2FPlanError(net.name, site, max_radius)
             for dx in range(-radius, radius + 1):
                 for dy in range(-radius, radius + 1):
                     if max(abs(dx), abs(dy)) != radius:

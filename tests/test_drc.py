@@ -1,0 +1,203 @@
+"""Signoff verification (`repro.drc`): clean flows, exact fault
+classification, report round-trips, and the SVG overlay.
+
+The injection tests are the subsystem's teeth: each seeds exactly one
+consistent corruption into a *clone* of the Macro-3D result's routing
+state and demands the engine reports exactly that violation class —
+nothing masked, nothing collateral.
+"""
+
+import pytest
+
+from repro.drc import (
+    KINDS,
+    DrcReport,
+    Violation,
+    clone_routing_state,
+    format_report,
+    inject_f2f_overbook,
+    inject_keepout,
+    inject_open,
+    inject_short,
+    render_drc_svg,
+    run_drc,
+)
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def m3d_state(flow_m3d):
+    """(netlist, placement, combined floorplan) of the session's run."""
+    return (
+        flow_m3d.placement.netlist,
+        flow_m3d.placement,
+        flow_m3d.floorplans["combined"],
+    )
+
+
+def rerun_drc(flow_m3d, m3d_state, grid, assignment):
+    netlist, placement, floorplan = m3d_state
+    return run_drc(
+        netlist, placement, floorplan, grid, flow_m3d.routed, assignment
+    )
+
+
+def only_kinds(report: DrcReport) -> set:
+    return {k for k, v in report.by_kind().items() if v}
+
+
+class TestCleanFlows:
+    def test_macro3d_attaches_clean_report(self, flow_m3d):
+        report = flow_m3d.drc
+        assert report is not None
+        assert report.clean and report.total == 0
+        assert report.nets_checked > 0
+
+    def test_2d_attaches_clean_report(self, flow_2d):
+        assert flow_2d.drc is not None
+        assert flow_2d.drc.clean
+
+    def test_summary_carries_drc_fields(self, flow_m3d):
+        summary = flow_m3d.summary
+        assert summary.drc_total == 0
+        assert summary.opens == 0
+        assert summary.shorts == 0
+        assert summary.f2f_overflow == 0
+
+    def test_stats_present(self, flow_m3d):
+        stats = flow_m3d.drc.stats
+        for key in (
+            "connectivity_nets",
+            "f2f_crossings",
+            "congested_cells",
+            "bond_spanning_nets",
+        ):
+            assert key in stats
+        assert stats["connectivity_nets"] == flow_m3d.drc.nets_checked
+        # Macro-3D routes through the bond, so crossings must exist and
+        # agree with the assignment's own counter.
+        assert stats["f2f_crossings"] == flow_m3d.assignment.total_f2f > 0
+
+    def test_two_die_flows_attach_reports(self, flow_s2d, flow_c2d):
+        for result in (flow_s2d, flow_c2d):
+            assert result.drc is not None
+            assert result.drc.nets_checked > 0
+            # Their *pre-fix-up* audit must record real 3D violations —
+            # the paper's argument for Macro-3D.
+            assert result.summary.extras["prefix_3d_opens"] > 0
+
+
+class TestFaultInjection:
+    def test_dropped_segment_is_an_open(self, flow_m3d, m3d_state):
+        grid, assignment = clone_routing_state(
+            flow_m3d.grid, flow_m3d.assignment
+        )
+        info = inject_open(grid, assignment, seed=SEED)
+        report = rerun_drc(flow_m3d, m3d_state, grid, assignment)
+        assert only_kinds(report) == {"open"}
+        assert report.opens == 1
+        assert report.violations[0].net == info["net"]
+
+    def test_overfilled_gcell_is_a_short(self, flow_m3d, m3d_state):
+        grid, assignment = clone_routing_state(
+            flow_m3d.grid, flow_m3d.assignment
+        )
+        info = inject_short(grid, assignment, seed=SEED)
+        report = rerun_drc(flow_m3d, m3d_state, grid, assignment)
+        assert only_kinds(report) == {"short"}
+        assert report.shorts == 1
+        violation = report.violations[0]
+        assert violation.gcell == info["gcell"]
+        assert violation.layer == info["layer"]
+
+    def test_wire_over_macro_blockage_is_a_keepout(self, flow_m3d, m3d_state):
+        netlist, _placement, floorplan = m3d_state
+        grid, assignment = clone_routing_state(
+            flow_m3d.grid, flow_m3d.assignment
+        )
+        info = inject_keepout(netlist, floorplan, grid, assignment, seed=SEED)
+        report = rerun_drc(flow_m3d, m3d_state, grid, assignment)
+        assert only_kinds(report) == {"keepout"}
+        assert report.shorts == 1  # keepouts are physical shorts
+        violation = report.violations[0]
+        assert violation.gcell == info["gcell"]
+        assert violation.layer == info["layer"]
+        assert violation.layer.endswith("_MD")
+
+    def test_double_booked_f2f_site_is_an_overflow(self, flow_m3d, m3d_state):
+        grid, assignment = clone_routing_state(
+            flow_m3d.grid, flow_m3d.assignment
+        )
+        info = inject_f2f_overbook(grid, assignment, seed=SEED)
+        report = rerun_drc(flow_m3d, m3d_state, grid, assignment)
+        assert only_kinds(report) == {"f2f_overflow"}
+        assert report.f2f_overflow == 1
+        assert report.violations[0].gcell == info["gcell"]
+
+    def test_fixtures_survive_injection_untouched(self, flow_m3d, m3d_state):
+        # The injectors corrupt clones; the session result must still
+        # verify clean afterwards.
+        report = rerun_drc(
+            flow_m3d, m3d_state, flow_m3d.grid, flow_m3d.assignment
+        )
+        assert report.clean
+
+    def test_seeds_are_reproducible(self, flow_m3d):
+        picks = []
+        for _ in range(2):
+            grid, assignment = clone_routing_state(
+                flow_m3d.grid, flow_m3d.assignment
+            )
+            picks.append(inject_open(grid, assignment, seed=11))
+        assert picks[0] == picks[1]
+
+
+class TestReport:
+    def test_json_round_trip(self, flow_m3d):
+        report = flow_m3d.drc
+        back = DrcReport.from_json(report.to_json())
+        assert back.to_dict() == report.to_dict()
+
+    def test_round_trip_with_violations(self):
+        report = DrcReport(design="d", flow="f")
+        report.violations.append(
+            Violation("short", "boom", net="n1", layer="M2", gcell=(3, 4))
+        )
+        back = DrcReport.from_json(report.to_json())
+        assert back.violations[0] == report.violations[0]
+        assert back.total == 1 and back.shorts == 1
+
+    def test_kind_helpers(self):
+        report = DrcReport()
+        for kind in KINDS:
+            report.violations.append(Violation(kind, ""))
+        assert report.total == len(KINDS)
+        assert report.opens == 1
+        assert report.shorts == 2  # short + keepout
+        assert report.f2f_overflow == 1
+        assert set(report.by_kind()) == set(KINDS)
+
+    def test_format_report_mentions_verdict(self, flow_m3d):
+        text = format_report(flow_m3d.drc)
+        assert "CLEAN" in text
+        assert "nets checked" in text
+        dirty = DrcReport(flow="x")
+        dirty.violations.append(Violation("open", "gap", net="n"))
+        text = format_report(dirty)
+        assert "1 violation(s)" in text and "[open]" in text
+
+    def test_svg_overlay_renders(self, flow_m3d):
+        svg = render_drc_svg(flow_m3d.grid, flow_m3d.drc)
+        assert svg.startswith("<?xml")
+        assert "DRC clean" in svg or "clean" in svg
+        for kind in KINDS:
+            assert kind in svg  # legend lists every class
+
+    def test_svg_marks_violation_cells(self, flow_m3d):
+        dirty = DrcReport(flow="x")
+        dirty.violations.append(
+            Violation("short", "boom", gcell=(1, 1), layer="M2")
+        )
+        svg = render_drc_svg(flow_m3d.grid, dirty)
+        assert "#ff7f0e" in svg  # the short marker color

@@ -89,6 +89,33 @@ class TestGrid:
         grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
         grid.block_layer("M3_MD", Rect(0, 0, 100, 100))  # not in 2D stack
 
+    def test_block_fraction_clamped(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        m3 = grid.stack.routing_index("M3")
+        # fraction > 1 behaves exactly like a full blockage — capacity
+        # hits zero, never negative.
+        grid.block_layer("M3", Rect(0, 0, 500, 500), fraction=2.5)
+        assert (grid.layer_capacity[m3] == 0).all()
+        assert (grid.layer_capacity >= 0).all()
+        # fraction < 0 clamps to zero: a no-op, not a capacity increase.
+        other = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        before = other.layer_capacity[m3].copy()
+        other.block_layer("M3", Rect(0, 0, 500, 500), fraction=-3.0)
+        assert (other.layer_capacity[m3] == before).all()
+        other.block_substrate(Rect(0, 0, 500, 500), fraction=-1.0)
+        assert (other.substrate_coverage == 0).all()
+
+    def test_block_outside_outline_rejected(self, tech):
+        grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
+        with pytest.raises(ValueError, match="does not intersect"):
+            grid.block_layer("M3", Rect(600, 600, 700, 700))
+        with pytest.raises(ValueError, match="does not intersect"):
+            grid.block_substrate(Rect(-50.0, 0.0, -10.0, 100.0))
+        # Touching the outline edge with zero overlap is still outside:
+        # gcell_of would clamp it onto the border cells.
+        with pytest.raises(ValueError, match="does not intersect"):
+            grid.block_layer("M3", Rect(500, 0, 600, 100))
+
     def test_pdn_derate_applied(self, tech):
         grid = RoutingGrid(tech.stack, Rect(0, 0, 500, 500))
         m6 = grid.stack.routing_index("M6")

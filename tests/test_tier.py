@@ -130,3 +130,38 @@ class TestF2FPlanner:
             tiny_tile.netlist, placement, all_zero, F2FViaSpec()
         )
         assert plan.total_bumps == 0
+
+    def test_saturated_spiral_raises_with_context(self, tiny_tile, mol_setup):
+        # A pitch wider than the die collapses every net's ideal site to
+        # the same bonding-grid point; with no search radius the second
+        # bump cannot be placed and the planner must fail loudly rather
+        # than spiral forever.
+        from repro.tier.f2f_planner import F2FPlanError
+
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        partition = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        assert partition.cut_nets >= 2
+        f2f = F2FViaSpec(pitch=1.0e6, size=0.5)
+        with pytest.raises(F2FPlanError) as excinfo:
+            plan_f2f_vias(
+                tiny_tile.netlist, placement, partition, f2f, max_radius=0
+            )
+        err = excinfo.value
+        assert err.net  # names the offending net
+        assert err.max_radius == 0
+        assert "radius 0" in str(err) and err.net in str(err)
+
+    def test_default_radius_bounds_search(self, tiny_tile, mol_setup):
+        # The production default must be generous enough for real designs:
+        # the same plan as test_one_bump_per_cut_net, now explicitly bounded.
+        macro_fp, logic_fp, placement, macro_assignment = mol_setup
+        partition = tier_partition(
+            tiny_tile.netlist, placement, logic_fp, macro_fp, macro_assignment
+        )
+        plan = plan_f2f_vias(
+            tiny_tile.netlist, placement, partition, F2FViaSpec(),
+            max_radius=64,
+        )
+        assert plan.total_bumps == partition.cut_nets

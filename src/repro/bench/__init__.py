@@ -33,6 +33,7 @@ from repro.bench.baseline import (
 )
 from repro.bench.runner import (
     SCHEDULE_FILENAME,
+    BenchFailure,
     discover_artifacts,
     load_artifacts,
     run_benchmarks,
@@ -62,6 +63,7 @@ from repro.bench.svg import (
 __all__ = [
     "BENCH_SCHEMA",
     "BenchArtifact",
+    "BenchFailure",
     "DEFAULT_BASELINE_DIR",
     "DEFAULT_SPECS",
     "MetricDelta",

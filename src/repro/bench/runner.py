@@ -23,7 +23,9 @@ import json
 import multiprocessing
 import os
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bench.artifact import (
@@ -38,6 +40,22 @@ from repro.obs import FlowTrace, profile_call, recording
 
 #: Filename of the per-run schedule record (skipped by artifact discovery).
 SCHEDULE_FILENAME = "BENCH_schedule.json"
+
+
+@dataclass
+class BenchFailure:
+    """One scenario that did not produce a passing artifact.
+
+    A failure is either a crash (``traceback`` carries the worker's
+    formatted stack, whether it raised in-process or in a pool worker)
+    or a wall-budget overrun (``traceback`` empty, ``error`` says by
+    how much).  Failures never abort the remaining scenarios — a
+    raising scenario fails alone.
+    """
+
+    scenario: str
+    error: str
+    traceback: str = ""
 
 
 def run_scenario(
@@ -110,18 +128,29 @@ def write_benchmark(
 
 def _bench_worker(
     name: str, out_dir: str, svg: bool, profile: bool
-) -> Tuple[str, BenchArtifact, List[str], float, float]:
+) -> Tuple[
+    str, Optional[BenchArtifact], List[str], float, float, Optional[str]
+]:
     """Top-level (picklable) pool entry: run one scenario by name.
 
     Workers are forked, so scenarios registered at runtime via
     ``register_scenario`` are visible here too.  Start/end stamps come
     from the shared monotonic clock and are comparable across the pool.
+
+    A raising scenario is reported, not raised: the last element is the
+    worker-side formatted traceback (exception objects may not pickle
+    across the process boundary — and a raise here would surface in the
+    parent as an opaque ``future.result()`` error that kills the whole
+    run instead of failing one scenario).
     """
     start = time.monotonic()
-    artifact, paths = write_benchmark(
-        get_scenario(name), out_dir, svg=svg, profile=profile
-    )
-    return name, artifact, paths, start, time.monotonic()
+    try:
+        artifact, paths = write_benchmark(
+            get_scenario(name), out_dir, svg=svg, profile=profile
+        )
+    except Exception:
+        return name, None, [], start, time.monotonic(), traceback.format_exc()
+    return name, artifact, paths, start, time.monotonic(), None
 
 
 def _schedule_dict(
@@ -157,27 +186,58 @@ def run_benchmarks(
     jobs: int = 1,
     profile: bool = False,
     on_done: Optional[Callable[[Scenario, BenchArtifact, List[str]], None]] = None,
-) -> Tuple[List[Tuple[Scenario, BenchArtifact, List[str]]], Dict[str, Any]]:
+) -> Tuple[
+    List[Tuple[Scenario, BenchArtifact, List[str]]],
+    Dict[str, Any],
+    List[BenchFailure],
+]:
     """Run scenarios, optionally ``jobs``-wide across processes.
 
-    Returns (per-scenario results in input order, the schedule dict);
-    the schedule is also written to ``BENCH_schedule.json`` in
-    ``out_dir``.  ``on_done`` fires as each scenario finishes — in
-    completion order when parallel.
+    Returns (per-scenario results in input order, the schedule dict,
+    the failures); the schedule is also written to
+    ``BENCH_schedule.json`` in ``out_dir``.  ``on_done`` fires as each
+    scenario finishes — in completion order when parallel.
+
+    A scenario that raises (or whose artifact overruns the scenario's
+    ``wall_budget_s``) lands in the failures list instead of aborting
+    the run; its results entry is dropped (budget overruns keep
+    theirs — the artifact is valid, just slow).
     """
     by_name = {scenario.name: scenario for scenario in scenarios}
     artifacts: Dict[str, Tuple[BenchArtifact, List[str]]] = {}
     rows: List[Tuple[str, float, float]] = []
+    failures: List[BenchFailure] = []
+
+    def finish(name: str, artifact: BenchArtifact, paths: List[str]) -> None:
+        artifacts[name] = (artifact, paths)
+        scenario = by_name[name]
+        budget = scenario.wall_budget_s
+        if budget is not None and artifact.wall_s_total > budget:
+            failures.append(BenchFailure(
+                name,
+                f"wall time {artifact.wall_s_total:.1f} s exceeded the "
+                f"{budget:.0f} s budget",
+            ))
+        if on_done is not None:
+            on_done(scenario, artifact, paths)
+
+    def crashed(name: str, formatted: str) -> None:
+        last = formatted.strip().splitlines()[-1] if formatted else "crashed"
+        failures.append(BenchFailure(name, last, formatted))
+
     if jobs <= 1 or len(scenarios) <= 1:
         for scenario in scenarios:
             start = time.monotonic()
-            artifact, paths = write_benchmark(
-                scenario, out_dir, svg=svg, profile=profile
-            )
+            try:
+                artifact, paths = write_benchmark(
+                    scenario, out_dir, svg=svg, profile=profile
+                )
+            except Exception:
+                rows.append((scenario.name, start, time.monotonic()))
+                crashed(scenario.name, traceback.format_exc())
+                continue
             rows.append((scenario.name, start, time.monotonic()))
-            artifacts[scenario.name] = (artifact, paths)
-            if on_done is not None:
-                on_done(scenario, artifact, paths)
+            finish(scenario.name, artifact, paths)
     else:
         # Fork keeps runtime-registered scenarios visible to workers; on
         # platforms without fork the default (spawn) still covers the
@@ -189,27 +249,40 @@ def run_benchmarks(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(scenarios)), mp_context=context
         ) as pool:
-            pending = {
+            submitted = {
                 pool.submit(
                     _bench_worker, scenario.name, out_dir, svg, profile
-                )
+                ): scenario.name
                 for scenario in scenarios
             }
+            pending = set(submitted)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    name, artifact, paths, start, end = future.result()
+                    try:
+                        name, artifact, paths, start, end, tb = (
+                            future.result()
+                        )
+                    except Exception:
+                        # The worker process died without reporting
+                        # (OOM-kill, interpreter abort) — the worker-side
+                        # catch never ran, so format parent-side.
+                        crashed(submitted[future], traceback.format_exc())
+                        continue
                     rows.append((name, start, end))
-                    artifacts[name] = (artifact, paths)
-                    if on_done is not None:
-                        on_done(by_name[name], artifact, paths)
+                    if tb is not None:
+                        crashed(name, tb)
+                        continue
+                    finish(name, artifact, paths)
     rows.sort(key=lambda row: row[1])
     schedule = _schedule_dict(jobs, rows)
     write_schedule(out_dir, schedule)
     results = [
-        (scenario, *artifacts[scenario.name]) for scenario in scenarios
+        (scenario, *artifacts[scenario.name])
+        for scenario in scenarios
+        if scenario.name in artifacts
     ]
-    return results, schedule
+    return results, schedule, failures
 
 
 def scenarios_overlapped(schedule: Dict[str, Any]) -> bool:

@@ -8,7 +8,10 @@ grid spans the paper's experimental space:
   C2D, Macro-3D) of Tables I/II;
 - **configs** — the small-cache and large-cache OpenPiton tiles;
 - **sizes** — ``small`` (CI smoke: tiny statistical scale, few sizing
-  iterations) and ``medium`` (closer to the paper's operating point).
+  iterations), ``medium`` (closer to the paper's operating point) and
+  a single hand-registered ``large`` scenario near the paper's actual
+  ~190k-instance tile, gated by a wall-time budget rather than a QoR
+  baseline.
 
 Scenario names are stable identifiers (``macro3d-largecache-small``);
 renaming one orphans its baseline, so don't.
@@ -42,11 +45,16 @@ CONFIGS: Dict[str, Callable[[], TileConfig]] = {
     "largecache": large_cache_config,
 }
 
-#: size -> (statistical netlist scale, sizing iterations).
+#: size -> (statistical netlist scale, sizing iterations).  These are
+#: the *grid* tiers (every flow x config combination exists); ``large``
+#: is a size label too, but only select scenarios are registered at it.
 SIZES: Dict[str, tuple] = {
     "small": (0.015, 3),
     "medium": (0.03, 8),
 }
+
+#: Size labels accepted by ``all_scenarios`` beyond the grid tiers.
+EXTRA_SIZES = ("large",)
 
 
 @dataclass(frozen=True)
@@ -59,6 +67,11 @@ class Scenario:
     size: str
     scale: float
     sizing_iterations: int
+    #: Wall-time budget in seconds, or None for baseline-gated tiers.
+    #: Large scenarios have no committed QoR baseline (the artifact is
+    #: too slow to regenerate per commit); instead ``bench run`` fails
+    #: the scenario when its total wall time exceeds this budget.
+    wall_budget_s: Optional[float] = None
 
     def runner(self) -> Callable[..., FlowResult]:
         return FLOW_RUNNERS[self.flow]
@@ -95,6 +108,22 @@ def _build_registry() -> Dict[str, Scenario]:
 
 _REGISTRY = _build_registry()
 
+#: The paper-scale tier: one Macro-3D large-cache run near the real
+#: ~190k-instance OpenPiton tile.  No QoR baseline is committed for it
+#: (regenerating one per commit is too slow); the wall-time budget is
+#: the regression gate instead.  The budget is deliberately loose —
+#: about 4x a warm local run — so it catches complexity blowups, not
+#: scheduler jitter.
+_REGISTRY["macro3d-largecache-large"] = Scenario(
+    name="macro3d-largecache-large",
+    flow="macro3d",
+    config="largecache",
+    size="large",
+    scale=0.575,
+    sizing_iterations=8,
+    wall_budget_s=1800.0,
+)
+
 
 def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
     """Add a scenario to the registry (tests, ad-hoc sweeps).
@@ -118,8 +147,9 @@ def unregister_scenario(name: str) -> None:
 
 def all_scenarios(size: Optional[str] = None) -> List[Scenario]:
     """Registered scenarios, optionally filtered to one size tier."""
-    if size is not None and size not in SIZES:
-        raise KeyError(f"unknown size {size!r} (choose from {sorted(SIZES)})")
+    known = set(SIZES) | set(EXTRA_SIZES)
+    if size is not None and size not in known:
+        raise KeyError(f"unknown size {size!r} (choose from {sorted(known)})")
     return [
         s for s in _REGISTRY.values() if size is None or s.size == size
     ]

@@ -244,10 +244,13 @@ def cmd_bench_list(args: argparse.Namespace) -> int:
     from repro.bench import all_scenarios
 
     print(f"{'scenario':<28s} {'flow':<8s} {'config':<11s} "
-          f"{'size':<7s} {'scale':>6s} {'sizing':>6s}")
+          f"{'size':<7s} {'scale':>6s} {'sizing':>6s} {'budget':>8s}")
     for s in all_scenarios():
+        budget = (f"{s.wall_budget_s:7.0f}s" if s.wall_budget_s is not None
+                  else "       -")
         print(f"{s.name:<28s} {s.flow:<8s} {s.config:<11s} "
-              f"{s.size:<7s} {s.scale:>6g} {s.sizing_iterations:>6d}")
+              f"{s.size:<7s} {s.scale:>6g} {s.sizing_iterations:>6d} "
+              f"{budget}")
     return 0
 
 
@@ -269,7 +272,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             print(f"  {scenario.name}: {artifact.wall_s_total:7.1f} s"
                   f"  fclk {fclk:6.1f} MHz  -> {paths[0]}", flush=True)
 
-    _results, schedule = run_benchmarks(
+    results, schedule, failures = run_benchmarks(
         scenarios,
         args.out,
         svg=not args.no_svg,
@@ -283,8 +286,12 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
                        else "did not overlap")
             print(f"jobs={args.jobs}: scenario intervals {overlap} "
                   f"(see BENCH_schedule.json)")
-        print(f"{len(scenarios)} artifact(s) written to {args.out}")
-    return 0
+        print(f"{len(results)} artifact(s) written to {args.out}")
+    for failure in failures:
+        print(f"FAILED {failure.scenario}: {failure.error}", file=sys.stderr)
+        if failure.traceback:
+            print(failure.traceback, file=sys.stderr)
+    return 1 if failures else 0
 
 
 def cmd_bench_compare(args: argparse.Namespace) -> int:

@@ -1,6 +1,21 @@
 """Parasitic extraction: per-net RC trees and Elmore delays."""
 
 from repro.extract.elmore import RCTree
-from repro.extract.rc import DesignParasitics, NetRC, extract_design
+from repro.extract.rc import (
+    DesignParasitics,
+    ExtractionIndex,
+    NetRC,
+    extract_design,
+    extract_design_reference,
+    extract_net,
+)
 
-__all__ = ["RCTree", "DesignParasitics", "NetRC", "extract_design"]
+__all__ = [
+    "RCTree",
+    "DesignParasitics",
+    "ExtractionIndex",
+    "NetRC",
+    "extract_design",
+    "extract_design_reference",
+    "extract_net",
+]

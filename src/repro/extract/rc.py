@@ -20,9 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cells.stdcell import PinDirection
 from repro.netlist.core import Instance, Net, Netlist, Port
-from repro.obs import count
+from repro.obs import count, span
 from repro.route.global_route import RoutedNet
 from repro.route.layer_assign import AssignedEdge, LayerAssignment
 from repro.tech.corners import Corner
@@ -178,12 +180,18 @@ def extract_net(
     )
 
 
-def extract_design(
+def extract_design_reference(
     routed_nets: Dict[str, RoutedNet],
     assignment: LayerAssignment,
     corner: Corner,
 ) -> DesignParasitics:
-    """Extract every routed net at one corner."""
+    """Extract every routed net at one corner (scalar oracle).
+
+    One :func:`extract_net` tree walk per net.  Retained as the
+    bit-exactness reference for :class:`ExtractionIndex`
+    (``tests/test_scale_properties.py``); production callers use
+    :func:`extract_design`.
+    """
     design = DesignParasitics(corner=corner)
     for name, routed in routed_nets.items():
         design.nets[name] = extract_net(
@@ -191,3 +199,264 @@ def extract_design(
         )
     count("extracted_nets", len(design.nets))
     return design
+
+
+class ExtractionIndex:
+    """Corner-independent flat-array view of every routed net's RC tree.
+
+    Built once per (routing, layer assignment) pair, then evaluated per
+    corner with :meth:`extract` — the corners share the tree topology,
+    the raw (underated) edge R/C, pin capacitances, wirelengths, blocked
+    fractions, direct distances and F2F counts, so only the derate
+    multiplies and the Elmore accumulation run per corner, as
+    level-synchronous numpy sweeps over one global edge array sorted by
+    tree depth.
+
+    Results are bit-identical to :func:`extract_design_reference`: the
+    per-node child accumulation order of the recursive oracle is
+    preserved by a stable depth sort plus unbuffered ``np.add.at``
+    (sequential adds in element order).  Nets whose reachable edge set
+    is not a tree rooted at the driver (a re-reached node would make the
+    oracle's recursion order-dependent) fall back to the scalar
+    :func:`extract_net` per corner.
+    """
+
+    def __init__(
+        self,
+        routed_nets: Dict[str, RoutedNet],
+        assignment: LayerAssignment,
+    ):
+        with span("extraction_index", nets=len(routed_nets)):
+            self._build(routed_nets, assignment)
+
+    def _build(
+        self,
+        routed_nets: Dict[str, RoutedNet],
+        assignment: LayerAssignment,
+    ) -> None:
+        self._routed = routed_nets
+        self._assignment = assignment
+        #: Nets extracted by the scalar oracle (non-tree reachable sets).
+        self.fallback: set = set()
+
+        names: List[str] = []
+        base: List[int] = []          # global node offset per net
+        sink_idx: List[np.ndarray] = []   # sink term indices per net
+        sink_lists: List[List[int]] = []
+        raw_cap_sum: List[float] = []
+        pin_cap_sum: List[float] = []
+        f2f: List[int] = []
+        direct: List[Dict[int, float]] = []
+        nets: List[Net] = []
+
+        pin_caps_flat: List[float] = []
+        # One row per reachable tree edge, later depth-sorted.
+        e_parent: List[int] = []
+        e_child: List[int] = []
+        e_depth: List[int] = []
+        e_raw_r: List[float] = []
+        e_raw_c: List[float] = []
+        e_length: List[float] = []
+        e_blockf: List[float] = []
+
+        offset = 0
+        for name, routed in routed_nets.items():
+            edges = assignment.net_edges(name)
+            net = routed.net
+            n_terms = len(net.terms)
+            names.append(name)
+            nets.append(net)
+            base.append(offset)
+            caps = [_terminal_pin_cap(t) for t in net.terms]
+            pin_caps_flat.extend(caps)
+            root = routed.driver_index
+            sinks = [i for i in range(n_terms) if i != root]
+            sink_lists.append(sinks)
+            sink_idx.append(np.array(sinks, dtype=np.int64) + offset)
+            raw_cap_sum.append(sum(a.capacitance for a in edges))
+            pin_cap_sum.append(sum(caps[i] for i in sinks))
+            f2f.append(sum(a.f2f_count for a in edges))
+            root_point = routed.points[root]
+            direct.append(
+                {
+                    i: abs(routed.points[i].x - root_point.x)
+                    + abs(routed.points[i].y - root_point.y)
+                    for i in sinks
+                }
+            )
+
+            # Depth-stamp the edges reachable from the driver, keeping
+            # each parent's child order (= edge insertion order).  A
+            # node reached twice makes the oracle's recursion order-
+            # dependent — punt that net to the scalar path.
+            children: Dict[int, List[AssignedEdge]] = {}
+            for assigned in edges:
+                children.setdefault(
+                    assigned.edge.source_index, []
+                ).append(assigned)
+            reached = {root}
+            frontier = [root]
+            depth = 0
+            rows: List[Tuple[int, int, int, AssignedEdge]] = []
+            is_tree = True
+            while frontier and is_tree:
+                depth += 1
+                nxt: List[int] = []
+                for node in frontier:
+                    for assigned in children.get(node, []):
+                        child = assigned.edge.target_index
+                        if child in reached:
+                            is_tree = False
+                            break
+                        reached.add(child)
+                        rows.append((depth, node, child, assigned))
+                        nxt.append(child)
+                    if not is_tree:
+                        break
+                frontier = nxt
+            if not is_tree:
+                self.fallback.add(name)
+            else:
+                for d, parent, child, assigned in rows:
+                    e_depth.append(d)
+                    e_parent.append(offset + parent)
+                    e_child.append(offset + child)
+                    e_raw_r.append(assigned.resistance)
+                    e_raw_c.append(assigned.capacitance)
+                    e_length.append(assigned.edge.length)
+                    e_blockf.append(assigned.edge.blocked_fraction)
+            offset += n_terms
+
+        self._names = names
+        self._nets = nets
+        self._base = base
+        self._sink_idx = sink_idx
+        self._sink_lists = sink_lists
+        self._raw_cap_sum = raw_cap_sum
+        self._pin_cap_sum = pin_cap_sum
+        self._f2f = f2f
+        self._direct = direct
+        self._pin_caps = np.array(pin_caps_flat, dtype=np.float64)
+        self._n_nodes = offset
+
+        order = np.argsort(np.array(e_depth, dtype=np.int64), kind="stable")
+        self._parent = np.array(e_parent, dtype=np.int64)[order]
+        self._child = np.array(e_child, dtype=np.int64)[order]
+        self._raw_r = np.array(e_raw_r, dtype=np.float64)[order]
+        self._raw_c = np.array(e_raw_c, dtype=np.float64)[order]
+        lengths_e = np.array(e_length, dtype=np.float64)[order]
+        blockf_e = np.array(e_blockf, dtype=np.float64)[order]
+        depths = np.array(e_depth, dtype=np.int64)[order]
+        # Level boundaries: edges of depth d occupy
+        # [level_start[d-1], level_start[d]).
+        max_depth = int(depths[-1]) if len(depths) else 0
+        self._level_start = np.searchsorted(
+            depths, np.arange(max_depth + 1), side="right"
+        )
+        self._levels = [
+            (int(self._level_start[d - 1]), int(self._level_start[d]))
+            for d in range(1, max_depth + 1)
+        ]
+
+        # Corner-independent propagation: driver-to-sink wirelength and
+        # length-weighted blocked fraction (no derates involved).
+        lengths = np.zeros(self._n_nodes)
+        blocked = np.zeros(self._n_nodes)
+        for lo, hi in self._levels:
+            parent = self._parent[lo:hi]
+            child = self._child[lo:hi]
+            parent_len = lengths[parent]
+            lengths[child] = parent_len + lengths_e[lo:hi]
+            child_len = lengths[child]
+            grown = child_len > 0
+            b_par = blocked[parent]
+            num = b_par * parent_len + blockf_e[lo:hi] * lengths_e[lo:hi]
+            out = b_par.copy()
+            np.divide(num, child_len, out=out, where=grown)
+            blocked[child] = out
+        self._lengths = lengths
+        self._blocked = blocked
+        # Frozen per-net dicts of the corner-independent sink values,
+        # shared by every corner's NetRC (extraction results are
+        # read-only downstream).
+        self._wl_dicts = [
+            dict(zip(self._sink_lists[k], lengths[idx].tolist()))
+            for k, idx in enumerate(self._sink_idx)
+        ]
+        self._blk_dicts = [
+            dict(zip(self._sink_lists[k], blocked[idx].tolist()))
+            for k, idx in enumerate(self._sink_idx)
+        ]
+
+    def extract(self, corner: Corner) -> DesignParasitics:
+        """Evaluate every net's parasitics at one corner."""
+        r_derate = corner.wire_r_derate
+        c_derate = corner.wire_c_derate
+
+        # Bottom-up downstream capacitance: each parent accumulates
+        # (edge C + child subtree) per child in insertion order —
+        # np.add.at applies the adds sequentially in element order,
+        # matching the oracle's left-fold exactly.
+        downstream = self._pin_caps.copy()
+        for lo, hi in reversed(self._levels):
+            term = self._raw_c[lo:hi] * c_derate + downstream[self._child[lo:hi]]
+            np.add.at(downstream, self._parent[lo:hi], term)
+
+        # Top-down Elmore / path-R / path-C.
+        elmore = np.zeros(self._n_nodes)
+        path_r = np.zeros(self._n_nodes)
+        path_c = np.zeros(self._n_nodes)
+        for lo, hi in self._levels:
+            parent = self._parent[lo:hi]
+            child = self._child[lo:hi]
+            r = self._raw_r[lo:hi] * r_derate
+            c_edge = self._raw_c[lo:hi] * c_derate
+            elmore[child] = (
+                elmore[parent]
+                + r * (c_edge / 2.0 + downstream[child]) * 1.0e-3
+            )
+            path_r[child] = path_r[parent] + r
+            path_c[child] = path_c[parent] + c_edge
+
+        design = DesignParasitics(corner=corner)
+        for k, name in enumerate(self._names):
+            if name in self.fallback:
+                design.nets[name] = extract_net(
+                    self._routed[name],
+                    self._assignment.net_edges(name),
+                    corner,
+                )
+                continue
+            sinks = self._sink_lists[k]
+            idx = self._sink_idx[k]
+            design.nets[name] = NetRC(
+                net=self._nets[k],
+                wire_cap=self._raw_cap_sum[k] * c_derate,
+                pin_cap=self._pin_cap_sum[k],
+                elmore=dict(zip(sinks, elmore[idx].tolist())),
+                sink_wirelength=self._wl_dicts[k],
+                path_r=dict(zip(sinks, path_r[idx].tolist())),
+                path_c=dict(zip(sinks, path_c[idx].tolist())),
+                path_blocked=self._blk_dicts[k],
+                sink_direct=self._direct[k],
+                f2f_count=self._f2f[k],
+            )
+        count("extracted_nets", len(design.nets))
+        return design
+
+
+def extract_design(
+    routed_nets: Dict[str, RoutedNet],
+    assignment: LayerAssignment,
+    corner: Corner,
+    index: Optional[ExtractionIndex] = None,
+) -> DesignParasitics:
+    """Extract every routed net at one corner.
+
+    Pass a shared :class:`ExtractionIndex` when extracting the same
+    routing at several corners — the tree topology and every
+    corner-independent quantity are then computed once.
+    """
+    if index is None:
+        index = ExtractionIndex(routed_nets, assignment)
+    return index.extract(corner)

@@ -21,7 +21,7 @@ from repro.cells.library import StdCellLibrary
 from repro.cells.macro import Macro
 from repro.drc.engine import run_drc
 from repro.drc.report import DrcReport
-from repro.extract.rc import DesignParasitics, extract_design
+from repro.extract.rc import DesignParasitics, ExtractionIndex, extract_design
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.pins import place_ports, validate_alignment
 from repro.geom import Point, Rect
@@ -240,8 +240,11 @@ def signoff_design(
     """
     corners = technology.corners
     with span("extract", nets=len(routed)):
-        slow = extract_design(routed, assignment, corners.slowest)
-        typical = extract_design(routed, assignment, corners.typical)
+        index = ExtractionIndex(routed, assignment)
+        slow = extract_design(routed, assignment, corners.slowest, index=index)
+        typical = extract_design(
+            routed, assignment, corners.typical, index=index
+        )
     constraints = options.constraints.with_skew(clock_tree.skew)
     graph = TimingGraph(netlist)
     target_period = (

@@ -20,7 +20,7 @@ from repro.netlist.core import Instance, Netlist
 from repro.opt.buffering import BufferPlan
 from repro.timing.constraints import TimingConstraints
 from repro.timing.graph import TimingGraph
-from repro.timing.sta import StaResult, net_slacks, run_sta
+from repro.timing.sta import StaEngine, StaResult
 
 
 @dataclass
@@ -55,13 +55,14 @@ def size_for_timing(
     and its input pin capacitance (loading the upstream net) — STA sees
     both because it reads masters live.
     """
-    result = SizingResult(sta=run_sta(graph, parasitics, plan, constraints))
+    engine = StaEngine(graph, parasitics, plan, constraints)
+    result = SizingResult(sta=engine.run())
     misses = 0
     for iteration in range(max_iterations):
         if target_period is not None and result.sta.min_period <= target_period:
             break  # iso-performance runs stop once the target closes
         period = result.sta.min_period
-        slacks = net_slacks(graph, parasitics, plan, constraints, period)
+        slacks = engine.net_slacks(period)
         if not slacks:
             break
         # Upsize every driver inside the critical window — whole walls of
@@ -82,9 +83,10 @@ def size_for_timing(
                 continue
             saved.append((obj, master))
             obj.master = stronger
+            engine.notify(obj)
         if not saved:
             break
-        candidate = run_sta(graph, parasitics, plan, constraints)
+        candidate = engine.run()
         if candidate.min_period < result.sta.min_period - 1e-9:
             for obj, old in saved:
                 entry = result.changes.get(obj.name)
@@ -98,6 +100,7 @@ def size_for_timing(
             # fresh window before giving up (load changes shift slacks).
             for obj, old in saved:
                 obj.master = old
+                engine.notify(obj)
             misses += 1
             if misses >= 2:
                 break

@@ -104,6 +104,17 @@ class GlobalRouter:
         self._use_h_flat = grid.use_h.ravel()
         self._use_v_flat = grid.use_v.ravel()
         self._since_refresh = 0
+        # Delta-tracked segment index for overflow detection.  The index
+        # is append-only: each negotiation round adds one chunk holding
+        # only the nets rerouted since the last round (the dirty set),
+        # stamped with the net's route generation.  Entries from older
+        # chunks whose generation no longer matches are masked out
+        # vectorially at query time, so per-round work scales with the
+        # dirty set, not the whole design.
+        self._seg_dirty: set = set()
+        self._seg_chunks: List[Tuple[np.ndarray, ...]] = []
+        self._gen: Dict[str, int] = {}
+        self._ordinals: Dict[str, int] = {}
         self._refresh_costs()
 
     # -- cost fields ----------------------------------------------------------------
@@ -394,6 +405,7 @@ class GlobalRouter:
                 )
             )
         self._since_refresh += 1
+        self._mark_route_changed(routed)
         if self._since_refresh >= self.options.cost_batch:
             self._refresh_costs()
 
@@ -404,8 +416,107 @@ class GlobalRouter:
                 segs = self._edge_segments(edge.path)
             self._apply_segments(segs, -1.0)
         routed.edges = []
+        self._mark_route_changed(routed)
+
+    def _mark_route_changed(self, routed: RoutedNet) -> None:
+        name = routed.net.name
+        self._seg_dirty.add(name)
+        self._gen[name] = self._gen.get(name, 0) + 1
+
+    def _flush_seg_chunks(self) -> None:
+        """Append one index chunk covering the dirty (rerouted) nets.
+
+        A chunk holds flat seg ids, the owning net's ordinal and the
+        net's route generation at gather time, for both edge planes.
+        The assembly is counts-driven (``np.fromiter`` for the ids, one
+        ``np.repeat`` for ordinals and generations) — deliberately not
+        a per-net ``np.concatenate``, whose per-array overhead dwarfs
+        the element copies at tens of thousands of short nets.
+        """
+        if not self._seg_dirty:
+            return
+        if len(self._ordinals) != len(self.routed):
+            self._ordinals = {
+                name: k for k, name in enumerate(self.routed)
+            }
+        dirty: List[RoutedNet] = []
+        h_flat: List[int] = []
+        v_flat: List[int] = []
+        h_counts: List[int] = []
+        v_counts: List[int] = []
+        for name in self._seg_dirty:
+            routed = self.routed.get(name)
+            if routed is None:
+                continue
+            h0, v0 = len(h_flat), len(v_flat)
+            for edge in routed.edges:
+                segs = edge.seg_ids
+                if segs is None:
+                    segs = edge.seg_ids = self._edge_segments(edge.path)
+                h_flat.extend(segs[0])
+                v_flat.extend(segs[1])
+            dirty.append(routed)
+            h_counts.append(len(h_flat) - h0)
+            v_counts.append(len(v_flat) - v0)
+        self._seg_dirty.clear()
+        if not dirty:
+            return
+        n = len(dirty)
+        ordinals = np.fromiter(
+            (self._ordinals[r.net.name] for r in dirty), np.int64, count=n
+        )
+        gens = np.fromiter(
+            (self._gen[r.net.name] for r in dirty), np.int64, count=n
+        )
+        h_counts_arr = np.array(h_counts, dtype=np.int64)
+        v_counts_arr = np.array(v_counts, dtype=np.int64)
+        self._seg_chunks.append((
+            np.array(h_flat, dtype=np.int64),
+            np.repeat(ordinals, h_counts_arr),
+            np.repeat(gens, h_counts_arr),
+            np.array(v_flat, dtype=np.int64),
+            np.repeat(ordinals, v_counts_arr),
+            np.repeat(gens, v_counts_arr),
+        ))
 
     def _nets_on_overflow(self) -> List[RoutedNet]:
+        """Nets crossing any overflowed grid edge, in routing order.
+
+        Vectorized equivalent of :meth:`_nets_on_overflow_reference`
+        (the retained per-net scalar scan): boolean gathers over the
+        delta-maintained chunked segment index instead of a Python walk
+        over every net's segments each round.  Entries whose stamped
+        generation trails the net's current one belong to a ripped-up
+        route and are masked out.
+        """
+        grid = self.grid
+        over_h = (grid.use_h > grid.cap_h).ravel()
+        over_v = (grid.use_v > grid.cap_v).ravel()
+        if not over_h.any() and not over_v.any():
+            return []
+        self._flush_seg_chunks()
+        names = list(self.routed)
+        cur_gen = np.fromiter(
+            (self._gen.get(name, 0) for name in names),
+            np.int64,
+            count=len(names),
+        )
+        hit = np.zeros(len(names), dtype=bool)
+        for idx_h, net_h, gen_h, idx_v, net_v, gen_v in self._seg_chunks:
+            if len(idx_h):
+                live = cur_gen[net_h] == gen_h
+                hit[net_h[live & over_h[idx_h]]] = True
+            if len(idx_v):
+                live = cur_gen[net_v] == gen_v
+                hit[net_v[live & over_v[idx_v]]] = True
+        return [
+            routed
+            for k, routed in enumerate(self.routed.values())
+            if hit[k]
+        ]
+
+    def _nets_on_overflow_reference(self) -> List[RoutedNet]:
+        """Scalar oracle for overflow detection (bit-exactness tests)."""
         grid = self.grid
         over_h = grid.use_h > grid.cap_h
         over_v = grid.use_v > grid.cap_v

@@ -3,7 +3,14 @@
 from repro.timing.clock_tree import ClockTree, ClockTreeOptions, synthesize_clock_tree
 from repro.timing.constraints import TimingConstraints
 from repro.timing.graph import TimingGraph
-from repro.timing.sta import StaResult, run_sta
+from repro.timing.sta import (
+    StaEngine,
+    StaResult,
+    net_slacks,
+    net_slacks_reference,
+    run_sta,
+    run_sta_reference,
+)
 
 __all__ = [
     "ClockTree",
@@ -11,6 +18,10 @@ __all__ = [
     "synthesize_clock_tree",
     "TimingConstraints",
     "TimingGraph",
+    "StaEngine",
     "StaResult",
+    "net_slacks",
+    "net_slacks_reference",
     "run_sta",
+    "run_sta_reference",
 ]

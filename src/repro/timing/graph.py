@@ -14,6 +14,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cells.macro import Macro
 from repro.cells.stdcell import PinDirection, StdCell
 from repro.netlist.core import Instance, Net, Netlist, Port
@@ -59,6 +61,33 @@ class Endpoint:
     name: str = ""
 
 
+@dataclass
+class FlatTiming:
+    """Levelized flat-array view of the combinational arcs.
+
+    Arcs with at least one input are sorted stably by level (level 0 is
+    the launches; an arc's level is one past its deepest input) and laid
+    out as a CSR over their inputs, so arrival propagation can run one
+    vectorized gather/segmented-max per level.  Arcs with *no* inputs
+    (every pin on a clock net or unconnected) are listed separately —
+    their arrival never leaves the launch default.  All ids are net ids,
+    which double as positions in ``netlist.nets``.
+    """
+
+    #: Net id of each CSR arc, level-sorted.
+    arc_net: np.ndarray
+    #: CSR offsets into the input arrays, ``len(arc_net) + 1``.
+    arc_in_start: np.ndarray
+    #: Input net id per arc input (netlist term order within an arc).
+    arc_in_net: np.ndarray
+    #: Sink term index of the arc's pin on that input net.
+    arc_in_sink: np.ndarray
+    #: Arc index boundaries per level (levels are 1-based; entry 0 is 0).
+    level_start: np.ndarray
+    #: Net ids of arcs with an empty input list.
+    zero_in_arcs: np.ndarray
+
+
 class TimingGraph:
     """Topologically ordered net-level timing structure of a netlist."""
 
@@ -71,6 +100,68 @@ class TimingGraph:
         self._term_index: Dict[int, Dict[Tuple[int, str], int]] = {}
         self._build()
         self.order: List[Net] = self._topological_order()
+        self._flat: Optional[FlatTiming] = None
+
+    def flat(self) -> FlatTiming:
+        """The levelized flat-array view, built once and cached."""
+        if self._flat is None:
+            self._flat = self._build_flat()
+        return self._flat
+
+    def _build_flat(self) -> FlatTiming:
+        # Levels: launches sit at 0; an arc is one past its deepest
+        # leveled input (inputs outside the graph don't constrain it).
+        level: Dict[int, int] = {net_id: 0 for net_id in self.launches}
+        csr_arcs: List[CombArc] = []
+        zero_in: List[int] = []
+        for net in self.order:
+            arc = self.arcs.get(net.id)
+            if arc is None:
+                continue
+            if not arc.inputs:
+                zero_in.append(net.id)
+                level[net.id] = 1
+                continue
+            depth = 1
+            for in_net, _sink in arc.inputs:
+                upstream = level.get(in_net.id)
+                if upstream is not None and upstream + 1 > depth:
+                    depth = upstream + 1
+            level[net.id] = depth
+            csr_arcs.append(arc)
+        # Stable sort by level keeps topo order inside each level.
+        csr_arcs.sort(key=lambda a: level[a.output_net.id])
+        arc_net = np.array(
+            [a.output_net.id for a in csr_arcs], dtype=np.int64
+        )
+        counts = [len(a.inputs) for a in csr_arcs]
+        arc_in_start = np.zeros(len(csr_arcs) + 1, dtype=np.int64)
+        np.cumsum(counts, out=arc_in_start[1:])
+        arc_in_net = np.array(
+            [n.id for a in csr_arcs for n, _s in a.inputs], dtype=np.int64
+        )
+        arc_in_sink = np.array(
+            [s for a in csr_arcs for _n, s in a.inputs], dtype=np.int64
+        )
+        max_level = max(
+            (level[a.output_net.id] for a in csr_arcs), default=0
+        )
+        level_start = np.zeros(max_level + 1, dtype=np.int64)
+        arc_levels = [level[a.output_net.id] for a in csr_arcs]
+        for lv in arc_levels:
+            level_start[lv] += 1
+        np.cumsum(level_start, out=level_start)
+        level_start = np.concatenate(
+            [np.zeros(1, dtype=np.int64), level_start]
+        )
+        return FlatTiming(
+            arc_net=arc_net,
+            arc_in_start=arc_in_start,
+            arc_in_net=arc_in_net,
+            arc_in_sink=arc_in_sink,
+            level_start=level_start,
+            zero_in_arcs=np.array(zero_in, dtype=np.int64),
+        )
 
     # -- construction -----------------------------------------------------------
 

@@ -25,8 +25,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cells.macro import Macro
-from repro.cells.stdcell import StdCell
+from repro.cells.stdcell import PinDirection, StdCell
 from repro.extract.rc import DesignParasitics, NetRC
 from repro.netlist.core import Instance, Net
 from repro.obs import count
@@ -127,13 +129,19 @@ class _DelayModel:
         return master.delay(self.load_of(net), self.derate)
 
 
-def run_sta(
+def run_sta_reference(
     graph: TimingGraph,
     parasitics: DesignParasitics,
     plan: BufferPlan,
     constraints: TimingConstraints,
 ) -> StaResult:
-    """Compute arrivals and the minimum feasible clock period."""
+    """Scalar-oracle STA: the per-net Python propagation.
+
+    Retained as the bit-exactness reference for :class:`StaEngine`
+    (``tests/test_scale_properties.py``); production callers go through
+    :func:`run_sta`, which levelizes the same arithmetic over numpy
+    arrays.
+    """
     count("sta_runs", 1)
     corner = parasitics.corner
     derate = corner.delay_derate
@@ -298,14 +306,14 @@ def _trace(
     return names
 
 
-def net_slacks(
+def net_slacks_reference(
     graph: TimingGraph,
     parasitics: DesignParasitics,
     plan: BufferPlan,
     constraints: TimingConstraints,
     period: float,
 ) -> Dict[int, float]:
-    """Worst setup slack per net id at a target period.
+    """Worst setup slack per net id at a target period (scalar oracle).
 
     Arrivals fold the half-cycle launches in at the given period
     (``arr = max(a0, a5 + T/2)``); required times propagate backwards
@@ -313,6 +321,9 @@ def net_slacks(
     the sizing optimizer works on everything within a small window of
     the worst slack, which is what lets it flatten walls of near-critical
     paths instead of chasing them one at a time.
+
+    Like :func:`run_sta_reference`, this is the bit-exactness oracle for
+    :class:`StaEngine`; production callers use :func:`net_slacks`.
     """
     model = _DelayModel(parasitics, plan)
     derate = model.derate
@@ -381,3 +392,470 @@ def net_slacks(
         if required is not None:
             slacks[net_id] = required - arrival
     return slacks
+
+
+class StaEngine:
+    """Incremental levelized STA over flat numpy arrays.
+
+    Built once per (graph, parasitics, plan, constraints) tuple; the
+    expensive scalar work — wire delays under the buffer plan, per-net
+    pin-capacitance walks, endpoint setup derating — happens in the
+    constructor.  Every :meth:`run`/:meth:`net_slacks` call then reduces
+    to one gather + segmented max/min per topological level.
+
+    Gate sizing mutates instance masters in place; callers report each
+    change through :meth:`notify` and the engine patches only the
+    affected per-net quantities (driver P/R, dirty pin-capacitance sums)
+    instead of rebuilding.  Results are bit-identical to the retained
+    scalar oracles :func:`run_sta_reference` / :func:`net_slacks_reference`:
+    every float is produced by the same IEEE-754 operations in an
+    equivalent order (max/min reductions are order-free-exact here since
+    no NaNs or signed-zero ties occur).
+    """
+
+    def __init__(
+        self,
+        graph: TimingGraph,
+        parasitics: DesignParasitics,
+        plan: BufferPlan,
+        constraints: TimingConstraints,
+    ):
+        self.graph = graph
+        self.constraints = constraints
+        self._corner = parasitics.corner
+        self._derate = self._corner.delay_derate
+        model = _DelayModel(parasitics, plan)
+        nets = graph.netlist.nets
+        self._nets = nets
+        self._nets_by_id = {net.id: net for net in nets}
+        n = len(nets)
+        self._n = n
+        flat = graph.flat()
+        self._flat = flat
+
+        # Static wire delay / wirelength per CSR arc input.
+        in_net = flat.arc_in_net
+        in_sink = flat.arc_in_sink
+        self._w_in = np.array(
+            [
+                model.wire_delay(nets[in_net[i]], int(in_sink[i]))
+                for i in range(len(in_net))
+            ],
+            dtype=np.float64,
+        )
+        self._wl_in = np.array(
+            [
+                model.wire_length(nets[in_net[i]], int(in_sink[i]))
+                for i in range(len(in_net))
+            ],
+            dtype=np.float64,
+        )
+
+        # Delay-owning nets: every arc output plus flop/macro launches.
+        # Each needs (P, R, load) for the shared cell-delay formula
+        # derate * (P + R*load*1e-3); load decomposes into a static part
+        # plus (for unbuffered nets) the live pin-capacitance sum.
+        dnet_ids: List[int] = []
+        p_vals: List[float] = []
+        r_vals: List[float] = []
+        static_load: List[float] = []
+        dyn_flags: List[bool] = []
+        rc_by_name = parasitics.nets
+        c_in = plan.repeater.pins[0].capacitance
+
+        def add_dnet(net: Net, p: float, r: float) -> int:
+            pos = len(dnet_ids)
+            dnet_ids.append(net.id)
+            p_vals.append(p)
+            r_vals.append(r)
+            rc = rc_by_name.get(net.name)
+            if rc is None:
+                static_load.append(0.0)
+                dyn_flags.append(True)
+            else:
+                counts = [
+                    plan.counts.get((net.name, sink), 0) for sink in rc.elmore
+                ]
+                k = max(counts) if counts else 0
+                if k == 0:
+                    static_load.append(rc.wire_cap)
+                    dyn_flags.append(True)
+                else:
+                    static_load.append(rc.wire_cap / (k + 1) + c_in)
+                    dyn_flags.append(False)
+            return pos
+
+        arc_dpos = np.empty(len(flat.arc_net), dtype=np.int64)
+        for k, net_id in enumerate(flat.arc_net):
+            arc = graph.arcs[int(net_id)]
+            master = arc.instance.master
+            assert isinstance(master, StdCell)
+            arc_dpos[k] = add_dnet(
+                arc.output_net, master.intrinsic_delay, master.drive_resistance
+            )
+        zero_dpos = np.empty(len(flat.zero_in_arcs), dtype=np.int64)
+        for k, net_id in enumerate(flat.zero_in_arcs):
+            arc = graph.arcs[int(net_id)]
+            master = arc.instance.master
+            assert isinstance(master, StdCell)
+            zero_dpos[k] = add_dnet(
+                arc.output_net, master.intrinsic_delay, master.drive_resistance
+            )
+        launch0: List[int] = []     # full-cycle port launches (a0 = 0)
+        launch5: List[int] = []     # half-cycle port launches (a5 = 0)
+        port_nets: List[int] = []   # all port launches, for net_slacks
+        port_frac: List[float] = []
+        launch_cd_net: List[int] = []  # flop/macro launches (a0 = cell delay)
+        launch_cd_pos: List[int] = []
+        for net_id, launch in graph.launches.items():
+            if launch.kind == "port":
+                if launch.io_fraction > 0.0:
+                    launch5.append(net_id)
+                else:
+                    launch0.append(net_id)
+                port_nets.append(net_id)
+                port_frac.append(launch.io_fraction)
+                continue
+            assert launch.instance is not None
+            master = launch.instance.master
+            if launch.kind == "flop":
+                assert isinstance(master, StdCell)
+                pos = add_dnet(
+                    launch.net, master.intrinsic_delay, master.drive_resistance
+                )
+            else:  # macro
+                assert isinstance(master, Macro)
+                pos = add_dnet(
+                    launch.net, master.access_delay, master.drive_resistance
+                )
+            launch_cd_net.append(net_id)
+            launch_cd_pos.append(pos)
+
+        self._arc_dpos = arc_dpos
+        self._zero_dpos = zero_dpos
+        self._launch0 = np.array(launch0, dtype=np.int64)
+        self._launch5 = np.array(launch5, dtype=np.int64)
+        self._port_nets = np.array(port_nets, dtype=np.int64)
+        self._port_frac = np.array(port_frac, dtype=np.float64)
+        self._launch_cd_net = np.array(launch_cd_net, dtype=np.int64)
+        self._launch_cd_pos = np.array(launch_cd_pos, dtype=np.int64)
+        self._p = np.array(p_vals, dtype=np.float64)
+        self._r = np.array(r_vals, dtype=np.float64)
+        self._static_load = np.array(static_load, dtype=np.float64)
+        self._dyn = np.array(dyn_flags, dtype=bool)
+        self._dnet_ids = dnet_ids
+        self._dpos = {net_id: k for k, net_id in enumerate(dnet_ids)}
+        self._dyn_pos = {
+            net_id: k for k, net_id in enumerate(dnet_ids) if dyn_flags[k]
+        }
+        self._pincap = np.zeros(len(dnet_ids), dtype=np.float64)
+        for net_id, k in self._dyn_pos.items():
+            self._pincap[k] = nets[net_id].total_pin_capacitance()
+        self._dirty: set = set()
+
+        # Nets that get an arrival state in the scalar oracle: every
+        # launch and every arc output (even ones with no valid inputs).
+        has_state = np.zeros(n, dtype=bool)
+        for net_id in graph.launches:
+            has_state[net_id] = True
+        if len(flat.arc_net):
+            has_state[flat.arc_net] = True
+        if len(flat.zero_in_arcs):
+            has_state[flat.zero_in_arcs] = True
+        self._has_state = has_state
+
+        # Per-level slices of the CSR, cached once.
+        self._levels: List[tuple] = []
+        start = flat.arc_in_start
+        for lv in range(1, len(flat.level_start) - 1):
+            s = int(flat.level_start[lv])
+            e = int(flat.level_start[lv + 1])
+            if s == e:
+                continue
+            lo = int(start[s])
+            hi = int(start[e])
+            starts = (start[s:e] - lo).astype(np.int64)
+            sizes = np.diff(np.concatenate([starts, [hi - lo]]))
+            self._levels.append(
+                (
+                    flat.arc_net[s:e],          # output net ids
+                    arc_dpos[s:e],              # dnet positions
+                    in_net[lo:hi],              # input net ids
+                    in_sink[lo:hi],             # input sink term indices
+                    self._w_in[lo:hi],          # static wire delays
+                    self._wl_in[lo:hi],         # static wirelengths
+                    starts,                     # local segment starts
+                    sizes,                      # segment sizes
+                    np.arange(hi - lo, dtype=np.int64),
+                )
+            )
+
+        # Endpoint statics.
+        self._ep_w = np.array(
+            [
+                model.wire_delay(ep.net, ep.sink_index)
+                for ep in graph.endpoints
+            ],
+            dtype=np.float64,
+        )
+        self._ep_wl = np.array(
+            [
+                model.wire_length(ep.net, ep.sink_index)
+                for ep in graph.endpoints
+            ],
+            dtype=np.float64,
+        )
+        self._ep_setup_d = np.array(
+            [ep.setup * self._derate for ep in graph.endpoints],
+            dtype=np.float64,
+        )
+        self._ep_net = np.array(
+            [ep.net.id for ep in graph.endpoints], dtype=np.int64
+        )
+        self._ep_is_port = np.array(
+            [ep.kind == "port" for ep in graph.endpoints], dtype=bool
+        )
+        self._ep_omf = np.array(
+            [1.0 - ep.io_fraction for ep in graph.endpoints],
+            dtype=np.float64,
+        )
+
+    # -- incremental patching --------------------------------------------------
+
+    def notify(self, instance: Instance) -> None:
+        """Record that ``instance.master`` changed (sizing or rollback).
+
+        The driven net's delay parameters and every connected net's
+        pin-capacitance sum become stale; both are patched lazily at the
+        next run.
+        """
+        master = instance.master
+        for pin, net in instance.connections.items():
+            if instance.pin_direction(pin) is PinDirection.OUTPUT:
+                pos = self._dpos.get(net.id)
+                if pos is not None and isinstance(master, StdCell):
+                    self._p[pos] = master.intrinsic_delay
+                    self._r[pos] = master.drive_resistance
+            else:
+                pos = self._dyn_pos.get(net.id)
+                if pos is not None:
+                    self._dirty.add(pos)
+
+    def _cell_delays(self) -> np.ndarray:
+        if self._dirty:
+            for pos in self._dirty:
+                net = self._nets[self._dnet_ids[pos]]
+                self._pincap[pos] = net.total_pin_capacitance()
+            self._dirty.clear()
+        load = np.where(
+            self._dyn, self._static_load + self._pincap, self._static_load
+        )
+        return self._derate * (self._p + self._r * load * 1.0e-3)
+
+    # -- full STA --------------------------------------------------------------
+
+    def run(self) -> StaResult:
+        """Arrival propagation + endpoint scan; same contract as
+        :func:`run_sta_reference`."""
+        count("sta_runs", 1)
+        cd = self._cell_delays()
+        n = self._n
+        a0 = np.full(n, NEG_INF)
+        a5 = np.full(n, NEG_INF)
+        wl0 = np.zeros(n)
+        wl5 = np.zeros(n)
+        pred_net0 = np.full(n, -1, dtype=np.int64)
+        pred_sink0 = np.full(n, -1, dtype=np.int64)
+        pred_net5 = np.full(n, -1, dtype=np.int64)
+        pred_sink5 = np.full(n, -1, dtype=np.int64)
+        if len(self._launch0):
+            a0[self._launch0] = 0.0
+        if len(self._launch5):
+            a5[self._launch5] = 0.0
+        if len(self._launch_cd_net):
+            a0[self._launch_cd_net] = cd[self._launch_cd_pos]
+
+        for (anets, adpos, in_nets, in_sinks, w, wl_s,
+             starts, sizes, local_pos) in self._levels:
+            acd = cd[adpos]
+            for a, wl, pred_net, pred_sink in (
+                (a0, wl0, pred_net0, pred_sink0),
+                (a5, wl5, pred_net5, pred_sink5),
+            ):
+                ain = a[in_nets]
+                cand = np.where(ain > NEG_INF, ain + w, -np.inf)
+                best = np.maximum.reduceat(cand, starts)
+                has = best > -np.inf
+                if not has.any():
+                    continue
+                hitpos = np.where(
+                    cand == np.repeat(best, sizes), local_pos, len(cand)
+                )
+                first = np.minimum.reduceat(hitpos, starts)
+                winners = first[has]
+                wnet = in_nets[winners]
+                vnets = anets[has]
+                a[vnets] = best[has] + acd[has]
+                pred_net[vnets] = wnet
+                pred_sink[vnets] = in_sinks[winners]
+                wl[vnets] = wl[wnet] + wl_s[winners]
+
+        # Endpoint constraints — scalar, exactly the oracle's loop over
+        # precomputed statics and the arrival arrays.
+        margin = self.constraints.total_margin
+        min_period = 0.0
+        endpoint_period: Dict[str, float] = {}
+        critical: Optional[CriticalPath] = None
+        for j, endpoint in enumerate(self.graph.endpoints):
+            nid = endpoint.net.id
+            if not self._has_state[nid]:
+                continue
+            w = float(self._ep_w[j])
+            wl_in = float(self._ep_wl[j])
+            setup = float(self._ep_setup_d[j])
+            candidates: List[Tuple[float, str, float, float]] = []
+            a0v = float(a0[nid])
+            if a0v > NEG_INF:
+                arrival = a0v + w
+                if endpoint.kind == "port":
+                    budget = 1.0 - endpoint.io_fraction
+                    if budget <= 1e-9:
+                        raise ValueError(
+                            f"endpoint {endpoint.name}: no cycle budget left"
+                        )
+                    candidates.append(
+                        ((arrival + margin) / budget, "full", arrival,
+                         float(wl0[nid]))
+                    )
+                else:
+                    candidates.append(
+                        (arrival + setup + margin, "full", arrival,
+                         float(wl0[nid]))
+                    )
+            a5v = float(a5[nid])
+            if a5v > NEG_INF:
+                arrival = a5v + w
+                if endpoint.kind == "port":
+                    budget = 0.5 - endpoint.io_fraction
+                    if budget <= 1e-9:
+                        raise ValueError(
+                            f"endpoint {endpoint.name}: half-cycle launch "
+                            f"meets half-cycle capture with no budget"
+                        )
+                    candidates.append(
+                        ((arrival + margin) / budget, "half", arrival,
+                         float(wl5[nid]))
+                    )
+                else:
+                    candidates.append(
+                        ((arrival + setup + margin) / 0.5, "half", arrival,
+                         float(wl5[nid]))
+                    )
+            if not candidates:
+                continue
+            period, launch_kind, arrival, path_wl = max(candidates)
+            endpoint_period[endpoint.name] = period
+            if period > min_period:
+                min_period = period
+                critical = CriticalPath(
+                    endpoint=endpoint.name,
+                    nets=self._trace_flat(
+                        endpoint, launch_kind,
+                        pred_net0 if launch_kind == "full" else pred_net5,
+                    ),
+                    wirelength=path_wl + wl_in,
+                    delay=arrival,
+                    launch=launch_kind,
+                )
+
+        if min_period <= 0.0:
+            raise ValueError("design has no constrained endpoints")
+        return StaResult(
+            min_period=min_period,
+            corner=self._corner,
+            critical=critical,
+            endpoint_period=endpoint_period,
+        )
+
+    def _trace_flat(
+        self, endpoint: Endpoint, launch_kind: str, pred_net: np.ndarray
+    ) -> List[str]:
+        names: List[str] = []
+        net_id = endpoint.net.id
+        for _guard in range(100000):
+            names.append(self._nets_by_id[net_id].name)
+            if not self._has_state[net_id]:
+                break
+            nxt = int(pred_net[net_id])
+            if nxt < 0:
+                break
+            net_id = nxt
+        names.reverse()
+        return names
+
+    # -- slacks ----------------------------------------------------------------
+
+    def net_slacks(self, period: float) -> Dict[int, float]:
+        """Worst setup slack per net id; same contract as
+        :func:`net_slacks_reference`."""
+        cd = self._cell_delays()
+        n = self._n
+        arr = np.full(n, -np.inf)
+        if len(self._port_nets):
+            arr[self._port_nets] = self._port_frac * period
+        if len(self._launch_cd_net):
+            arr[self._launch_cd_net] = cd[self._launch_cd_pos]
+        if len(self._flat.zero_in_arcs):
+            arr[self._flat.zero_in_arcs] = 0.0 + cd[self._zero_dpos]
+
+        for (anets, adpos, in_nets, _sinks, w, _wl,
+             starts, _sizes, _pos) in self._levels:
+            best = np.maximum(
+                np.maximum.reduceat(arr[in_nets] + w, starts), 0.0
+            )
+            arr[anets] = best + cd[adpos]
+
+        # Backward required times; +inf marks "unconstrained" and is a
+        # natural no-op under min.
+        margin = self.constraints.total_margin
+        req = np.full(n, np.inf)
+        if len(self._ep_net):
+            ep_req = np.where(
+                self._ep_is_port,
+                period * self._ep_omf - margin - self._ep_w,
+                period - self._ep_setup_d - margin - self._ep_w,
+            )
+            np.minimum.at(req, self._ep_net, ep_req)
+        for (anets, adpos, in_nets, _sinks, w, _wl,
+             starts, sizes, _pos) in reversed(self._levels):
+            out = req[anets] - cd[adpos]
+            np.minimum.at(req, in_nets, np.repeat(out, sizes) - w)
+
+        ids = np.nonzero(self._has_state & (req < np.inf))[0]
+        return {int(i): float(req[i] - arr[i]) for i in ids}
+
+
+def run_sta(
+    graph: TimingGraph,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    constraints: TimingConstraints,
+) -> StaResult:
+    """Compute arrivals and the minimum feasible clock period.
+
+    One-shot convenience over :class:`StaEngine`; loops that re-run STA
+    after netlist mutations should hold an engine and :meth:`notify
+    <StaEngine.notify>` it instead.
+    """
+    return StaEngine(graph, parasitics, plan, constraints).run()
+
+
+def net_slacks(
+    graph: TimingGraph,
+    parasitics: DesignParasitics,
+    plan: BufferPlan,
+    constraints: TimingConstraints,
+    period: float,
+) -> Dict[int, float]:
+    """Worst setup slack per net id at a target period."""
+    return StaEngine(graph, parasitics, plan, constraints).net_slacks(period)

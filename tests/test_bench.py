@@ -3,7 +3,9 @@
 Covers the scenario registry, the BENCH artifact schema round trip,
 the SVG signoff renderers (well-formed XML, bin math, color ramp), the
 baseline comparator's pass/warn/fail threshold paths, and the bench
-CLI compare exit codes — all on synthetic artifacts, so no flow runs.
+CLI compare exit codes — all on synthetic artifacts, so no flow runs —
+plus the runner's failure isolation (a crashing or budget-overrunning
+scenario fails alone), which does run one tiny real scenario.
 """
 
 import copy
@@ -16,6 +18,7 @@ from repro.bench import (
     BENCH_SCHEMA,
     BenchArtifact,
     MetricSpec,
+    Scenario,
     StageTiming,
     all_scenarios,
     artifact_filename,
@@ -25,11 +28,14 @@ from repro.bench import (
     histogram_bins,
     load_baseline,
     ramp_color,
+    register_scenario,
     render_congestion_svg,
     render_slack_histogram_svg,
+    run_benchmarks,
+    unregister_scenario,
     worst_status,
 )
-from repro.bench.scenarios import SIZES
+from repro.bench.scenarios import FLOW_RUNNERS, SIZES
 from repro.cli import build_parser, main
 
 
@@ -81,14 +87,31 @@ def make_artifact(**overrides) -> BenchArtifact:
 class TestScenarioRegistry:
     def test_full_grid(self):
         scenarios = all_scenarios()
-        # 4 flows x 2 cache configs x 2 sizes.
-        assert len(scenarios) == 16
-        assert len({s.name for s in scenarios}) == 16
+        # 4 flows x 2 cache configs x 2 sizes, plus the large tier.
+        assert len(scenarios) == 17
+        assert len({s.name for s in scenarios}) == 17
 
     def test_small_tier_has_eight(self):
         small = all_scenarios(size="small")
         assert len(small) == 8
         assert all(s.size == "small" for s in small)
+
+    def test_medium_tier_has_eight(self):
+        medium = all_scenarios(size="medium")
+        assert len(medium) == 8
+        assert all(s.size == "medium" for s in medium)
+
+    def test_large_tier_is_budget_gated(self):
+        large = all_scenarios(size="large")
+        assert [s.name for s in large] == ["macro3d-largecache-large"]
+        scenario = large[0]
+        assert scenario.wall_budget_s is not None
+        assert scenario.wall_budget_s > 0
+        # Grid tiers stay baseline-gated, not budget-gated.
+        assert all(
+            s.wall_budget_s is None
+            for s in all_scenarios(size="small") + all_scenarios(size="medium")
+        )
 
     def test_lookup_and_errors(self):
         s = get_scenario("macro3d-largecache-small")
@@ -375,6 +398,87 @@ class TestBenchCli:
         self._write(out_dir, make_artifact(peak_rss_kb=None))
         assert main(["bench", "report", "--out", out_dir]) == 0
         assert "n/a" in capsys.readouterr().out
+
+
+def _boom_flow(config, scale, options):
+    raise RuntimeError("kaboom: injected bench-worker crash")
+
+
+class TestRunnerFailures:
+    """A raising scenario fails alone; the rest of the run completes."""
+
+    TINY = Scenario(
+        name="2d-smallcache-crashtest",
+        flow="2d",
+        config="smallcache",
+        size="crashtest",
+        scale=0.01,
+        sizing_iterations=1,
+    )
+    BOOM = Scenario(
+        name="boom-smallcache-crashtest",
+        flow="boom",
+        config="smallcache",
+        size="crashtest",
+        scale=0.01,
+        sizing_iterations=1,
+    )
+
+    @pytest.fixture()
+    def crash_registry(self, monkeypatch):
+        monkeypatch.setitem(FLOW_RUNNERS, "boom", _boom_flow)
+        register_scenario(self.TINY)
+        register_scenario(self.BOOM)
+        yield
+        unregister_scenario(self.TINY.name)
+        unregister_scenario(self.BOOM.name)
+
+    def _check_crash_isolated(self, out_dir, jobs):
+        results, _schedule, failures = run_benchmarks(
+            [self.BOOM, self.TINY], str(out_dir), svg=False, jobs=jobs
+        )
+        assert [f.scenario for f in failures] == [self.BOOM.name]
+        assert "kaboom" in failures[0].error
+        assert "RuntimeError" in failures[0].traceback
+        assert "kaboom" in failures[0].traceback
+        # The healthy scenario still completed and wrote its artifact.
+        assert [s.name for s, _a, _p in results] == [self.TINY.name]
+        assert os.path.exists(
+            os.path.join(str(out_dir), artifact_filename(self.TINY.name))
+        )
+
+    def test_serial_crash_fails_that_scenario_only(
+        self, tmp_path, crash_registry
+    ):
+        self._check_crash_isolated(tmp_path / "serial", jobs=1)
+
+    def test_parallel_crash_surfaces_worker_traceback(
+        self, tmp_path, crash_registry
+    ):
+        self._check_crash_isolated(tmp_path / "parallel", jobs=2)
+
+    def test_wall_budget_overrun_fails_but_keeps_artifact(self, tmp_path):
+        slow = Scenario(
+            name="2d-smallcache-budgettest",
+            flow="2d",
+            config="smallcache",
+            size="budgettest",
+            scale=0.01,
+            sizing_iterations=1,
+            wall_budget_s=1e-6,
+        )
+        register_scenario(slow)
+        try:
+            results, _schedule, failures = run_benchmarks(
+                [slow], str(tmp_path), svg=False, jobs=1
+            )
+        finally:
+            unregister_scenario(slow.name)
+        assert [f.scenario for f in failures] == [slow.name]
+        assert "budget" in failures[0].error
+        assert failures[0].traceback == ""
+        # The artifact is valid (just slow): it stays in the results.
+        assert [s.name for s, _a, _p in results] == [slow.name]
 
 
 class TestCommittedBaselines:

@@ -13,8 +13,12 @@ guards two properties at once:
    perturb a single placement coordinate or timing number.
 """
 
+import json
+
 import pytest
 
+from repro.bench import get_scenario, qor_json
+from repro.bench.runner import run_scenario
 from repro.core.macro3d import run_flow_macro3d
 from repro.flows.compact2d import run_flow_c2d
 from repro.flows.flow2d import run_flow_2d
@@ -47,6 +51,48 @@ def flow_pair(request, traced_2d, traced_m3d, traced_s2d, traced_c2d):
         small_cache_config(), scale=FLOW_SCALE, options=FLOW_OPTIONS
     )
     return first, second
+
+
+def _trace_canon(trace) -> str:
+    """Canonical JSON of a FlowTrace minus wall times and RSS.
+
+    Span structure, attrs, counters, gauges and histogram statistics
+    are all functions of the (seeded, sub-sampled) netlist alone, so
+    two runs must agree on this view byte for byte.
+    """
+
+    def span(s):
+        return {
+            "name": s.name,
+            "attrs": s.attrs,
+            "children": [span(c) for c in s.children],
+        }
+
+    return json.dumps(
+        {
+            "flow": trace.flow,
+            "design": trace.design,
+            "spans": [span(s) for s in trace.spans],
+            "counters": trace.counters,
+            "gauges": trace.gauges,
+            "histograms": trace.histograms,
+        },
+        sort_keys=True,
+        default=lambda obj: obj.__dict__,
+    )
+
+
+class TestMediumTierDeterminism:
+    """The medium tier (the paper's operating point for the committed
+    BENCH baselines) repeats byte-identically too — same seed, same
+    statistically sub-sampled netlist, same artifact and trace."""
+
+    def test_bench_artifact_and_trace_byte_identical(self):
+        scenario = get_scenario("macro3d-smallcache-medium")
+        artifact1, _result1, trace1 = run_scenario(scenario)
+        artifact2, _result2, trace2 = run_scenario(scenario)
+        assert qor_json(artifact1) == qor_json(artifact2)
+        assert _trace_canon(trace1) == _trace_canon(trace2)
 
 
 class TestDeterminism:

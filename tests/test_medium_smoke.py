@@ -1,0 +1,34 @@
+"""Medium-tier end-to-end smoke tests (``pytest -m slow``).
+
+The default test run deselects these (``addopts = -m "not slow"`` in
+pyproject.toml); CI runs them in a dedicated job.  They execute full
+flows at the medium tier — the scale the committed BENCH baselines are
+recorded at — and hold the paper's central signoff claim there: the
+Macro-3D design is directly valid in 3D (zero DRC violations), not just
+at the small CI-smoke scale.
+"""
+
+import pytest
+
+from repro.bench import get_scenario
+
+pytestmark = pytest.mark.slow
+
+
+class TestMediumFlowSmoke:
+    @pytest.mark.parametrize(
+        "name",
+        ["macro3d-smallcache-medium", "macro3d-largecache-medium"],
+    )
+    def test_macro3d_medium_signs_off_clean(self, name):
+        scenario = get_scenario(name)
+        result = scenario.run()
+        assert result.drc is not None
+        assert result.drc.total == 0, result.drc
+        assert result.summary.drc_total == 0
+        assert result.summary.fclk_mhz > 0.0
+
+    def test_2d_reference_medium_completes(self):
+        result = get_scenario("2d-largecache-medium").run()
+        assert result.summary.fclk_mhz > 0.0
+        assert result.drc is not None and result.drc.total == 0

@@ -324,12 +324,13 @@ class TestParallelBench:
         try:
             serial_dir = tmp_path / "serial"
             parallel_dir = tmp_path / "parallel"
-            _res1, sched1 = run_benchmarks(
+            _res1, sched1, fails1 = run_benchmarks(
                 TINY_SCENARIOS, str(serial_dir), svg=False, jobs=1
             )
-            _res2, sched2 = run_benchmarks(
+            _res2, sched2, fails2 = run_benchmarks(
                 TINY_SCENARIOS, str(parallel_dir), svg=False, jobs=2
             )
+            assert not fails1 and not fails2
             for scenario in TINY_SCENARIOS:
                 name = artifact_filename(scenario.name)
                 a1 = load_artifact(str(serial_dir / name))

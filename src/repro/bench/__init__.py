@@ -17,6 +17,7 @@ from repro.bench.artifact import (
     StageTiming,
     artifact_filename,
     load_artifact,
+    perfetto_filename,
     ppa_block,
     qor_dict,
     qor_json,
@@ -24,11 +25,14 @@ from repro.bench.artifact import (
 from repro.bench.baseline import (
     DEFAULT_BASELINE_DIR,
     DEFAULT_SPECS,
+    TREND_MIN_RUNS,
+    TREND_WINDOW,
     MetricDelta,
     MetricSpec,
     compare_artifacts,
     format_diff_table,
     load_baseline,
+    trend_deltas,
     worst_status,
 )
 from repro.bench.runner import (
@@ -58,6 +62,7 @@ from repro.bench.svg import (
     render_congestion_svg,
     render_signoff_visuals,
     render_slack_histogram_svg,
+    render_trend_svg,
 )
 
 __all__ = [
@@ -84,6 +89,7 @@ __all__ = [
     "load_artifact",
     "load_artifacts",
     "load_baseline",
+    "perfetto_filename",
     "ppa_block",
     "qor_dict",
     "qor_json",
@@ -92,9 +98,13 @@ __all__ = [
     "render_congestion_svg",
     "render_signoff_visuals",
     "render_slack_histogram_svg",
+    "render_trend_svg",
     "run_benchmarks",
     "run_scenario",
     "scenarios_overlapped",
+    "TREND_MIN_RUNS",
+    "TREND_WINDOW",
+    "trend_deltas",
     "unregister_scenario",
     "worst_status",
     "write_benchmark",

@@ -264,6 +264,16 @@ def artifact_filename(scenario_name: str) -> str:
     return f"BENCH_{scenario_name}.json"
 
 
+def perfetto_filename(scenario_name: str) -> str:
+    """The Chrome trace-event export written next to an artifact.
+
+    Deliberately *not* ``.json``: artifact discovery globs
+    ``BENCH_*.json`` and must never try to parse a trace export as a
+    bench artifact.
+    """
+    return f"BENCH_{scenario_name}.perfetto"
+
+
 def load_artifact(path: str) -> BenchArtifact:
     """Read one ``BENCH_*.json`` file from disk."""
     with open(path, "r", encoding="utf-8") as handle:

@@ -132,6 +132,76 @@ def compare_artifacts(
     return deltas
 
 
+#: Minimum history depth before the trend comparator judges a scenario.
+TREND_MIN_RUNS = 3
+
+#: Runs at the old end of the window that form the trend reference.
+TREND_WINDOW = 3
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def trend_deltas(
+    records: Sequence,
+    specs: Sequence[MetricSpec] = DEFAULT_SPECS,
+    gate_time: bool = True,
+) -> List[MetricDelta]:
+    """Gate the *latest* history record against the scenario's own past.
+
+    ``records`` is one scenario's :class:`~repro.obs.history.
+    HistoryRecord` list in run order.  The reference for each metric is
+    the median of the oldest :data:`TREND_WINDOW` runs; the current
+    value is the newest run.  The same warn/fail thresholds as the
+    single-baseline gate apply — but to the **cumulative** change, which
+    is exactly what that gate cannot see: four consecutive +4 % wall
+    regressions each pass the 10 % bar, while the trend gate flags the
+    compounded +17 %.
+
+    With fewer than :data:`TREND_MIN_RUNS` runs there is no trend to
+    judge and the result is empty.
+    """
+    if len(records) < TREND_MIN_RUNS:
+        return []
+    window = records[: min(TREND_WINDOW, len(records) - 1)]
+    current_record = records[-1]
+    note = f"median of {len(window)} oldest vs newest of {len(records)} runs"
+    deltas: List[MetricDelta] = []
+    for spec in specs:
+        base_values = [
+            value for value in (r.lookup(spec.path) for r in window)
+            if value is not None
+        ]
+        cur = current_record.lookup(spec.path)
+        if not base_values or cur is None:
+            continue
+        base = _median(base_values)
+        change = _percent_change(base, cur)
+        if change is None:
+            deltas.append(MetricDelta(spec.path, base, cur, 0.0, OK, note))
+            continue
+        worsening = change if spec.worse == "up" else -change
+        status = OK
+        if worsening > spec.fail_pct:
+            status = FAIL
+        elif worsening > spec.warn_pct:
+            status = WARN
+        if status == FAIL and spec.timing and not gate_time:
+            status = WARN
+            note_out = note + "; time metric, not gated"
+        else:
+            note_out = note
+        deltas.append(
+            MetricDelta(spec.path, base, cur, change, status, note_out)
+        )
+    return deltas
+
+
 def worst_status(deltas: Sequence[MetricDelta]) -> str:
     """The most severe status across a comparison (``ok`` when empty)."""
     worst = OK

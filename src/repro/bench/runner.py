@@ -15,6 +15,15 @@ only wall times and RSS samples may differ.  Every run also writes
 monotonic clock, which is how a parallel run *demonstrates* overlap
 even on a single-core host (interleaved intervals, not wall-clock
 speedup, are the evidence).
+
+Live observability rides along on request: ``events_path``/``on_event``
+attach a ``repro.obs.events/v1`` stream (heartbeats, span open/close,
+marks) — in parallel runs each worker forwards its events over a
+multiprocessing queue, so the parent's single JSONL file shows
+per-scenario, per-stage progress *while* scenarios overlap;
+``history_path`` appends one ``repro.obs.history/v1`` record per
+completed scenario; ``perfetto=True`` writes a Chrome trace-event
+export (``BENCH_<scenario>.perfetto``) next to each artifact.
 """
 
 from __future__ import annotations
@@ -22,9 +31,11 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -32,11 +43,19 @@ from repro.bench.artifact import (
     BenchArtifact,
     artifact_filename,
     load_artifact,
+    perfetto_filename,
 )
 from repro.bench.scenarios import Scenario, get_scenario
 from repro.bench.svg import render_signoff_visuals
 from repro.flows.base import FlowResult
 from repro.obs import FlowTrace, profile_call, recording
+from repro.obs.events import DEFAULT_HEARTBEAT_S, jsonl_writer, streaming
+from repro.obs.export import chrome_trace_from_flowtrace, write_chrome_trace
+from repro.obs.history import (
+    append_history,
+    git_revision,
+    record_from_artifact,
+)
 
 #: Filename of the per-run schedule record (skipped by artifact discovery).
 SCHEDULE_FILENAME = "BENCH_schedule.json"
@@ -84,19 +103,22 @@ def write_benchmark(
     out_dir: str,
     svg: bool = True,
     profile: bool = False,
+    perfetto: bool = False,
 ) -> Tuple[BenchArtifact, List[str]]:
     """Run a scenario and write its artifact (+ visuals) into ``out_dir``.
 
     Returns the artifact and the list of files written, artifact first.
     ``profile=True`` additionally runs the scenario under cProfile and
-    writes the cumulative-time report next to the artifact.
+    writes the cumulative-time report next to the artifact;
+    ``perfetto=True`` writes the FlowTrace as a Chrome trace-event file
+    loadable in Perfetto/chrome://tracing.
     """
     if profile:
-        (artifact, result, _trace), report = profile_call(
+        (artifact, result, trace), report = profile_call(
             run_scenario, scenario
         )
     else:
-        artifact, result, _trace = run_scenario(scenario)
+        artifact, result, trace = run_scenario(scenario)
         report = None
     os.makedirs(out_dir, exist_ok=True)
     paths: List[str] = []
@@ -111,6 +133,10 @@ def write_benchmark(
         with open(profile_path, "w", encoding="utf-8") as handle:
             handle.write(report)
         paths.append(profile_path)
+    if perfetto:
+        perfetto_path = os.path.join(out_dir, perfetto_filename(scenario.name))
+        write_chrome_trace(perfetto_path, chrome_trace_from_flowtrace(trace))
+        paths.append(perfetto_path)
     if svg:
         visuals: Dict[str, str] = render_signoff_visuals(result)
         for suffix, document in sorted(visuals.items()):
@@ -125,9 +151,22 @@ def write_benchmark(
 
 # -- parallel execution ---------------------------------------------------------------
 
+#: Worker-side event forwarding state, set by the pool initializer.
+#: Events cross the process boundary as plain dicts on this queue; the
+#: parent's drainer thread serializes them into the one JSONL file.
+_WORKER_EVENT_QUEUE: Optional[Any] = None
+_WORKER_HEARTBEAT_S: float = DEFAULT_HEARTBEAT_S
+
+
+def _init_worker_events(queue: Any, heartbeat_s: float) -> None:
+    """Pool initializer: adopt the parent's event queue (fork-inherited)."""
+    global _WORKER_EVENT_QUEUE, _WORKER_HEARTBEAT_S
+    _WORKER_EVENT_QUEUE = queue
+    _WORKER_HEARTBEAT_S = heartbeat_s
+
 
 def _bench_worker(
-    name: str, out_dir: str, svg: bool, profile: bool
+    name: str, out_dir: str, svg: bool, profile: bool, perfetto: bool = False
 ) -> Tuple[
     str, Optional[BenchArtifact], List[str], float, float, Optional[str]
 ]:
@@ -136,6 +175,10 @@ def _bench_worker(
     Workers are forked, so scenarios registered at runtime via
     ``register_scenario`` are visible here too.  Start/end stamps come
     from the shared monotonic clock and are comparable across the pool.
+    When the pool was initialized with an event queue, the whole
+    scenario runs under a live stream whose writer is ``queue.put`` —
+    every event tagged with the scenario name, so the parent's combined
+    stream shows per-scenario, per-stage progress while runs overlap.
 
     A raising scenario is reported, not raised: the last element is the
     worker-side formatted traceback (exception objects may not pickle
@@ -144,10 +187,22 @@ def _bench_worker(
     run instead of failing one scenario).
     """
     start = time.monotonic()
-    try:
-        artifact, paths = write_benchmark(
-            get_scenario(name), out_dir, svg=svg, profile=profile
+    queue = _WORKER_EVENT_QUEUE
+    stream_cm = (
+        streaming(
+            queue.put,
+            heartbeat_s=_WORKER_HEARTBEAT_S,
+            base={"scenario": name},
         )
+        if queue is not None
+        else nullcontext()
+    )
+    try:
+        with stream_cm:
+            artifact, paths = write_benchmark(
+                get_scenario(name), out_dir, svg=svg, profile=profile,
+                perfetto=perfetto,
+            )
     except Exception:
         return name, None, [], start, time.monotonic(), traceback.format_exc()
     return name, artifact, paths, start, time.monotonic(), None
@@ -186,6 +241,11 @@ def run_benchmarks(
     jobs: int = 1,
     profile: bool = False,
     on_done: Optional[Callable[[Scenario, BenchArtifact, List[str]], None]] = None,
+    events_path: Optional[str] = None,
+    on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    history_path: Optional[str] = None,
+    perfetto: bool = False,
 ) -> Tuple[
     List[Tuple[Scenario, BenchArtifact, List[str]]],
     Dict[str, Any],
@@ -198,6 +258,15 @@ def run_benchmarks(
     ``BENCH_schedule.json`` in ``out_dir``.  ``on_done`` fires as each
     scenario finishes — in completion order when parallel.
 
+    Live observability: when ``events_path`` and/or ``on_event`` is
+    given, every scenario runs under a ``repro.obs.events/v1`` stream —
+    serial runs write/forward inline, parallel runs forward worker
+    events over a queue into the single ``events_path`` file and the
+    ``on_event`` callback (called from the drainer thread).
+    ``history_path`` appends one history record per completed scenario
+    (stamped with the current git revision); ``perfetto`` adds a Chrome
+    trace-event export next to each artifact.
+
     A scenario that raises (or whose artifact overruns the scenario's
     ``wall_budget_s``) lands in the failures list instead of aborting
     the run; its results entry is dropped (budget overruns keep
@@ -207,6 +276,23 @@ def run_benchmarks(
     artifacts: Dict[str, Tuple[BenchArtifact, List[str]]] = {}
     rows: List[Tuple[str, float, float]] = []
     failures: List[BenchFailure] = []
+    events_enabled = events_path is not None or on_event is not None
+    git_rev = git_revision() if history_path is not None else ""
+
+    events_handle = None
+    events_file_write = None
+    if events_path is not None:
+        directory = os.path.dirname(events_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        events_handle = open(events_path, "w", encoding="utf-8")
+        events_file_write = jsonl_writer(events_handle)
+
+    def dispatch_event(event: Dict[str, Any]) -> None:
+        if events_file_write is not None:
+            events_file_write(event)
+        if on_event is not None:
+            on_event(event)
 
     def finish(name: str, artifact: BenchArtifact, paths: List[str]) -> None:
         artifacts[name] = (artifact, paths)
@@ -218,6 +304,10 @@ def run_benchmarks(
                 f"wall time {artifact.wall_s_total:.1f} s exceeded the "
                 f"{budget:.0f} s budget",
             ))
+        if history_path is not None:
+            append_history(history_path, record_from_artifact(
+                artifact, git_rev=git_rev, ts_unix=time.time()
+            ))
         if on_done is not None:
             on_done(scenario, artifact, paths)
 
@@ -225,55 +315,101 @@ def run_benchmarks(
         last = formatted.strip().splitlines()[-1] if formatted else "crashed"
         failures.append(BenchFailure(name, last, formatted))
 
-    if jobs <= 1 or len(scenarios) <= 1:
-        for scenario in scenarios:
-            start = time.monotonic()
-            try:
-                artifact, paths = write_benchmark(
-                    scenario, out_dir, svg=svg, profile=profile
+    try:
+        if jobs <= 1 or len(scenarios) <= 1:
+            for scenario in scenarios:
+                stream_cm = (
+                    streaming(
+                        dispatch_event,
+                        heartbeat_s=heartbeat_s,
+                        base={"scenario": scenario.name},
+                    )
+                    if events_enabled
+                    else nullcontext()
                 )
-            except Exception:
-                rows.append((scenario.name, start, time.monotonic()))
-                crashed(scenario.name, traceback.format_exc())
-                continue
-            rows.append((scenario.name, start, time.monotonic()))
-            finish(scenario.name, artifact, paths)
-    else:
-        # Fork keeps runtime-registered scenarios visible to workers; on
-        # platforms without fork the default (spawn) still covers the
-        # built-in registry.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            context = multiprocessing.get_context()
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(scenarios)), mp_context=context
-        ) as pool:
-            submitted = {
-                pool.submit(
-                    _bench_worker, scenario.name, out_dir, svg, profile
-                ): scenario.name
-                for scenario in scenarios
-            }
-            pending = set(submitted)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    try:
-                        name, artifact, paths, start, end, tb = (
-                            future.result()
+                start = time.monotonic()
+                try:
+                    with stream_cm:
+                        artifact, paths = write_benchmark(
+                            scenario, out_dir, svg=svg, profile=profile,
+                            perfetto=perfetto,
                         )
-                    except Exception:
-                        # The worker process died without reporting
-                        # (OOM-kill, interpreter abort) — the worker-side
-                        # catch never ran, so format parent-side.
-                        crashed(submitted[future], traceback.format_exc())
-                        continue
-                    rows.append((name, start, end))
-                    if tb is not None:
-                        crashed(name, tb)
-                        continue
-                    finish(name, artifact, paths)
+                except Exception:
+                    rows.append((scenario.name, start, time.monotonic()))
+                    crashed(scenario.name, traceback.format_exc())
+                    continue
+                rows.append((scenario.name, start, time.monotonic()))
+                finish(scenario.name, artifact, paths)
+        else:
+            # Fork keeps runtime-registered scenarios visible to workers; on
+            # platforms without fork the default (spawn) still covers the
+            # built-in registry.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                context = multiprocessing.get_context()
+            queue = context.Queue() if events_enabled else None
+            drainer: Optional[threading.Thread] = None
+            if queue is not None:
+                # The queue outlives the pool: workers put, this thread
+                # serializes into the one JSONL file until the parent
+                # drops the sentinel after pool shutdown.
+                def drain() -> None:
+                    while True:
+                        event = queue.get()
+                        if event is None:
+                            return
+                        dispatch_event(event)
+
+                drainer = threading.Thread(
+                    target=drain, name="bench-event-drain", daemon=True
+                )
+                drainer.start()
+            pool_kwargs: Dict[str, Any] = {}
+            if queue is not None:
+                # initargs travel through the worker Process constructor,
+                # so the fork-context queue is inherited, not pickled.
+                pool_kwargs = {
+                    "initializer": _init_worker_events,
+                    "initargs": (queue, heartbeat_s),
+                }
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(scenarios)), mp_context=context,
+                **pool_kwargs,
+            ) as pool:
+                submitted = {
+                    pool.submit(
+                        _bench_worker, scenario.name, out_dir, svg, profile,
+                        perfetto,
+                    ): scenario.name
+                    for scenario in scenarios
+                }
+                pending = set(submitted)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        try:
+                            name, artifact, paths, start, end, tb = (
+                                future.result()
+                            )
+                        except Exception:
+                            # The worker process died without reporting
+                            # (OOM-kill, interpreter abort) — the worker-side
+                            # catch never ran, so format parent-side.
+                            crashed(submitted[future], traceback.format_exc())
+                            continue
+                        rows.append((name, start, end))
+                        if tb is not None:
+                            crashed(name, tb)
+                            continue
+                        finish(name, artifact, paths)
+            if queue is not None:
+                queue.put(None)
+                if drainer is not None:
+                    drainer.join()
+    finally:
+        if events_handle is not None:
+            events_handle.close()
     rows.sort(key=lambda row: row[1])
     schedule = _schedule_dict(jobs, rows)
     write_schedule(out_dir, schedule)

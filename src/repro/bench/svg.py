@@ -16,7 +16,7 @@ so tests can probe them without parsing pixels.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 from xml.sax.saxutils import escape
 
 # -- data extraction -----------------------------------------------------------------
@@ -243,6 +243,76 @@ def render_slack_histogram_svg(
         f'<text x="6" y="{pad_t + 10}" {_FONT} font-size="10">'
         f"{peak}</text>"
     )
+    return _svg_document(width, height, body)
+
+
+def render_trend_svg(
+    values: Sequence[float],
+    title: str = "trend",
+    labels: Optional[Sequence[str]] = None,
+    width: int = 300,
+    height: int = 140,
+) -> str:
+    """Render one metric's cross-run trend as a compact SVG line chart.
+
+    ``values`` are samples in run order (the x axis is the run index);
+    ``labels`` optionally annotates the first and last run (git revs on
+    the dashboard).  Degenerate series — empty, a single run, or a
+    perfectly flat line — still render a well-formed chart.
+    """
+    pad_l, pad_r, pad_t, pad_b = 10, 10, 22, 18
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    body = [
+        f'<text x="{pad_l}" y="15" {_FONT} font-size="11">'
+        f"{escape(title)}</text>",
+        f'<rect x="{pad_l}" y="{pad_t}" width="{plot_w}" '
+        f'height="{plot_h}" fill="#ffffff" stroke="#cccccc"/>',
+    ]
+    if values:
+        lo, hi = min(values), max(values)
+        span = hi - lo if hi > lo else 1.0
+        n = len(values)
+
+        def xy(index: int, value: float) -> Tuple[float, float]:
+            x = pad_l + (plot_w * index / (n - 1) if n > 1 else plot_w / 2)
+            y = pad_t + plot_h - plot_h * (value - lo) / span
+            if hi <= lo:  # flat series: draw mid-height
+                y = pad_t + plot_h / 2
+            return x, y
+
+        points = [xy(i, v) for i, v in enumerate(values)]
+        if n > 1:
+            path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+            body.append(
+                f'<polyline points="{path}" fill="none" '
+                'stroke="#4878a8" stroke-width="1.5"/>'
+            )
+        for x, y in points:
+            body.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5" '
+                'fill="#4878a8"/>'
+            )
+        body.append(
+            f'<text x="{pad_l}" y="{height - 6}" {_FONT} font-size="9" '
+            f'fill="#666666">min {lo:g}</text>'
+        )
+        body.append(
+            f'<text x="{pad_l + plot_w - 70}" y="{height - 6}" {_FONT} '
+            f'font-size="9" fill="#666666">max {hi:g}</text>'
+        )
+        if labels:
+            body.append(
+                f'<text x="{pad_l}" y="{pad_t - 2}" {_FONT} font-size="8" '
+                f'fill="#999999">{escape(str(labels[0]))}'
+                + (f" → {escape(str(labels[-1]))}" if len(labels) > 1 else "")
+                + "</text>"
+            )
+    else:
+        body.append(
+            f'<text x="{pad_l + 8}" y="{pad_t + plot_h / 2:.0f}" {_FONT} '
+            'font-size="10" fill="#999999">no runs</text>'
+        )
     return _svg_document(width, height, body)
 
 

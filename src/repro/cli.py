@@ -8,15 +8,23 @@ Commands::
     python -m repro run --flow macro3d --config small --scale 0.04
     python -m repro run --flow macro3d --trace-out run.json --quiet
     python -m repro run --flow macro3d --profile
+    python -m repro run --flow macro3d --events-out run.events.jsonl
     python -m repro compare --config small --scale 0.03
     python -m repro table3 --config large
     python -m repro floorplans --config small
     python -m repro trace run.json
+    python -m repro trace run.json --chrome run.perfetto
+    python -m repro trace run.events.jsonl --chrome run.perfetto
+    python -m repro dash --history benchmarks/history.jsonl --out dash.html
     python -m repro bench list
     python -m repro bench run --all --out bench_out/
     python -m repro bench run --all --jobs 2 --profile
+    python -m repro bench run --all --events-out bench.events.jsonl \\
+        --history benchmarks/history.jsonl --perfetto
     python -m repro bench compare --out bench_out/
+    python -m repro bench compare --trend --history benchmarks/history.jsonl
     python -m repro bench report --out bench_out/
+    python -m repro bench validate benchmarks/baselines bench_out/
 """
 
 from __future__ import annotations
@@ -34,6 +42,8 @@ from repro.flows.shrunk2d import run_flow_s2d
 from repro.io.def_io import write_floorplan_map
 from repro.metrics.report import format_table
 from repro.obs import FlowTrace, format_trace, load_trace, recording
+from repro.obs.events import DEFAULT_HEARTBEAT_S
+from repro.obs.history import DEFAULT_HISTORY_PATH
 from repro.netlist.openpiton import (
     TileConfig,
     build_tile,
@@ -69,7 +79,10 @@ def _print_result(result: FlowResult) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.obs import profile_call
+    from repro.obs.events import streaming
 
     runner = _FLOWS[args.flow]
     kwargs = {}
@@ -86,21 +99,33 @@ def cmd_run(args: argparse.Namespace) -> int:
             profile_out = (args.trace_out or "run") + ".profile.txt"
             with open(profile_out, "w", encoding="utf-8") as handle:
                 handle.write(report)
-            if not args.quiet:
-                print(f"profile written to {profile_out}")
+            # --quiet suppresses the progress/summary stream, not the
+            # pointer to a file the user explicitly asked for — without
+            # this line `--profile --quiet` silently writes to a path
+            # the user has to guess.
+            print(f"profile written to {profile_out}", flush=True)
             return result
         return runner(_config(args.config), scale=args.scale, **kwargs)
 
-    if args.trace_out:
-        with recording() as recorder:
-            result = execute()
-        trace = FlowTrace.from_recorder(
-            recorder, flow=result.flow, design=result.design
+    if args.trace_out or args.events_out:
+        # Span events only stream while a recorder is live, so
+        # --events-out implies a recording even without --trace-out.
+        stream_cm = (
+            streaming(args.events_out) if args.events_out else nullcontext()
         )
-        with open(args.trace_out, "w", encoding="utf-8") as handle:
-            handle.write(trace.to_json())
-        if not args.quiet:
-            print(f"trace written to {args.trace_out}")
+        with recording() as recorder:
+            with stream_cm:
+                result = execute()
+        if args.trace_out:
+            trace = FlowTrace.from_recorder(
+                recorder, flow=result.flow, design=result.design
+            )
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(trace.to_json())
+            if not args.quiet:
+                print(f"trace written to {args.trace_out}")
+        if args.events_out and not args.quiet:
+            print(f"events streamed to {args.events_out}")
     else:
         result = execute()
     if not args.quiet:
@@ -109,7 +134,62 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    print(format_trace(load_trace(args.path)))
+    import json
+
+    from repro.obs.events import is_event_stream, read_events
+    from repro.obs.export import (
+        chrome_trace_from_events,
+        chrome_trace_from_flowtrace,
+        write_chrome_trace,
+    )
+
+    # One command, two on-disk formats: a FlowTrace JSON document or a
+    # live-events JSONL stream.  Sniff by parsing — a FlowTrace file is
+    # one JSON object, an events file is one object per line whose
+    # header carries the events schema.
+    events = read_events(args.path)
+    if is_event_stream(events):
+        if not args.chrome:
+            raise SystemExit(
+                f"{args.path} is a live event stream "
+                "(repro.obs.events/v1); pass --chrome OUT to convert it"
+            )
+        write_chrome_trace(args.chrome, chrome_trace_from_events(events))
+        print(f"chrome trace written to {args.chrome} "
+              f"({len(events)} events)")
+        return 0
+    try:
+        trace = load_trace(args.path)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"{args.path}: not a FlowTrace or event stream "
+                         f"({exc})")
+    if args.chrome:
+        write_chrome_trace(args.chrome, chrome_trace_from_flowtrace(trace))
+        print(f"chrome trace written to {args.chrome}")
+        return 0
+    print(format_trace(trace))
+    return 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    from repro.obs.history import load_history, render_dashboard
+
+    try:
+        records = load_history(args.history)
+    except FileNotFoundError:
+        raise SystemExit(f"no history at {args.history!r}; grow one with "
+                         "`bench run ... --history PATH`")
+    if args.scenario:
+        wanted = set(args.scenario)
+        records = [r for r in records if r.scenario in wanted]
+    if not records:
+        raise SystemExit(f"{args.history}: no matching history records")
+    html = render_dashboard(records, title=args.title)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    scenarios = len({r.scenario for r in records})
+    print(f"dashboard written to {args.out} "
+          f"({len(records)} record(s), {scenarios} scenario(s))")
     return 0
 
 
@@ -254,6 +334,39 @@ def cmd_bench_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(out=None):
+    """Build the live progress consumer of the bench event stream.
+
+    Progress is no longer printed directly by ``cmd_bench_run`` — it is
+    a *view* of the ``repro.obs.events/v1`` stream, so ``--quiet``
+    suppresses exactly that stream subscription (drop the callback) and
+    serial/parallel runs share one code path.  Called from the runner's
+    drainer thread in parallel runs, hence the flush per line.
+    """
+    import sys as _sys
+
+    out = out or _sys.stdout
+
+    def progress(event) -> None:
+        kind = event.get("type")
+        name = event.get("scenario", "?")
+        if kind == "run_start":
+            print(f"running {name} ...", flush=True, file=out)
+        elif kind == "span_close" and event.get("depth") == 0:
+            print(f"  {name}: {event.get('name', '?'):<14s} "
+                  f"{float(event.get('dur_s', 0.0)):8.2f} s",
+                  flush=True, file=out)
+        elif kind == "mark":
+            attrs = event.get("attrs", {})
+            detail = " ".join(f"{k}={v:g}" if isinstance(v, float)
+                              else f"{k}={v}"
+                              for k, v in sorted(attrs.items()))
+            print(f"  {name}: [{event.get('name', '?')}] {detail}",
+                  flush=True, file=out)
+
+    return progress
+
+
 def cmd_bench_run(args: argparse.Namespace) -> int:
     from repro.bench import run_benchmarks, scenarios_overlapped
 
@@ -262,9 +375,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         raise SystemExit("bench run: --jobs must be >= 1")
     scenarios = _bench_scenarios(args)
-    if not args.quiet:
-        for scenario in scenarios:
-            print(f"running {scenario.name} ...", flush=True)
+    on_event = None if args.quiet else _progress_printer()
 
     def report(scenario, artifact, paths) -> None:
         if not args.quiet:
@@ -279,7 +390,17 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         profile=args.profile,
         on_done=report,
+        events_path=args.events_out,
+        on_event=on_event,
+        heartbeat_s=args.heartbeat,
+        history_path=args.history,
+        perfetto=args.perfetto,
     )
+    if args.profile:
+        # Same contract as `run --profile`: the pointer to files the
+        # user explicitly requested survives --quiet.
+        print(f"profile reports written next to artifacts in {args.out}",
+              flush=True)
     if not args.quiet:
         if args.jobs > 1:
             overlap = ("overlapped" if scenarios_overlapped(schedule)
@@ -287,11 +408,48 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             print(f"jobs={args.jobs}: scenario intervals {overlap} "
                   f"(see BENCH_schedule.json)")
         print(f"{len(results)} artifact(s) written to {args.out}")
+        if args.events_out:
+            print(f"events streamed to {args.events_out}")
+        if args.history:
+            print(f"history appended to {args.history}")
     for failure in failures:
         print(f"FAILED {failure.scenario}: {failure.error}", file=sys.stderr)
         if failure.traceback:
             print(failure.traceback, file=sys.stderr)
     return 1 if failures else 0
+
+
+def _trend_compare(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        TREND_MIN_RUNS,
+        format_diff_table,
+        trend_deltas,
+        worst_status,
+    )
+    from repro.obs.history import group_by_scenario, load_history
+
+    try:
+        records = load_history(args.history)
+    except FileNotFoundError:
+        raise SystemExit(f"no history at {args.history!r}; grow one with "
+                         "`bench run ... --history PATH`")
+    failed = False
+    compared = 0
+    for scenario, runs in sorted(group_by_scenario(records).items()):
+        if len(runs) < TREND_MIN_RUNS:
+            print(f"== {scenario} ==")
+            print(f"{len(runs)} run(s) in history — trend gating needs "
+                  f">= {TREND_MIN_RUNS}")
+            continue
+        deltas = trend_deltas(runs, gate_time=not args.no_gate_time)
+        print(format_diff_table(f"{scenario} (trend)", deltas))
+        print()
+        compared += 1
+        if worst_status(deltas) == "fail":
+            failed = True
+    print(f"trend-compared {compared} scenario(s) from {args.history}: "
+          f"{'FAIL' if failed else 'ok'}")
+    return 1 if failed else 0
 
 
 def cmd_bench_compare(args: argparse.Namespace) -> int:
@@ -303,6 +461,8 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         worst_status,
     )
 
+    if args.trend:
+        return _trend_compare(args)
     artifacts = load_artifacts(args.out)
     if not artifacts:
         raise SystemExit(f"no BENCH_*.json artifacts found in {args.out!r}")
@@ -353,6 +513,73 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_validate(args: argparse.Namespace) -> int:
+    """Schema-validate committed observability artifacts byte-for-byte.
+
+    Every ``BENCH_*.json`` in the given directories must parse as a
+    bench artifact and re-serialize byte-identically (so hand edits and
+    schema drift are caught in CI, not at compare time); every
+    ``BENCH_*.perfetto`` must pass the trace-event structural check;
+    every ``--history`` file must round-trip line-by-line.
+    """
+    import json
+    import os
+
+    from repro.bench import BenchArtifact, discover_artifacts
+    from repro.obs.export import validate_chrome_trace
+    from repro.obs.history import validate_history
+
+    problems: List[str] = []
+    checked = 0
+    for directory in args.dirs:
+        paths = discover_artifacts(directory)
+        traces = sorted(
+            os.path.join(directory, name)
+            for name in (os.listdir(directory)
+                         if os.path.isdir(directory) else [])
+            if name.startswith("BENCH_") and name.endswith(".perfetto")
+        )
+        if not paths and not traces:
+            problems.append(f"{directory}: no BENCH_* files to validate")
+            continue
+        for path in paths:
+            checked += 1
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            try:
+                artifact = BenchArtifact.from_json(text)
+            except (ValueError, KeyError, json.JSONDecodeError) as exc:
+                problems.append(f"{path}: {exc}")
+                continue
+            if artifact.to_json() != text:
+                problems.append(
+                    f"{path}: not canonical JSON (round-trip differs)"
+                )
+        for path in traces:
+            checked += 1
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}: not JSON ({exc})")
+                continue
+            problems.extend(
+                f"{path}: {problem}"
+                for problem in validate_chrome_trace(document)
+            )
+    for path in args.history or []:
+        checked += 1
+        try:
+            problems.extend(validate_history(path))
+        except FileNotFoundError:
+            problems.append(f"{path}: no such history file")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    verdict = f"{len(problems)} problem(s)" if problems else "ok"
+    print(f"validated {checked} file(s): {verdict}")
+    return 1 if problems else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -373,6 +600,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="macro-die metal layers for macro3d (6 or 4)")
     run_p.add_argument("--trace-out", metavar="PATH", default=None,
                        help="record a FlowTrace of the run to this JSON file")
+    run_p.add_argument("--events-out", metavar="PATH", default=None,
+                       help="stream live repro.obs.events/v1 JSONL "
+                            "(span open/close, heartbeats, marks) to this "
+                            "file during the run; tail -f friendly")
     run_p.add_argument("--profile", action="store_true",
                        help="run under cProfile and write the top-25 "
                             "cumulative report next to the trace")
@@ -415,9 +646,32 @@ def build_parser() -> argparse.ArgumentParser:
     common(ver_p)
     ver_p.set_defaults(handler=cmd_verify)
 
-    tr_p = sub.add_parser("trace", help="print a recorded FlowTrace JSON")
-    tr_p.add_argument("path", help="path to a --trace-out JSON file")
+    tr_p = sub.add_parser(
+        "trace",
+        help="print a recorded FlowTrace, or export traces/event "
+             "streams to Chrome trace-event JSON",
+    )
+    tr_p.add_argument("path", help="a --trace-out JSON file or an "
+                                   "--events-out JSONL stream")
+    tr_p.add_argument("--chrome", metavar="OUT", default=None,
+                      help="convert to Chrome trace-event JSON loadable "
+                           "in Perfetto / chrome://tracing")
     tr_p.set_defaults(handler=cmd_trace)
+
+    dash_p = sub.add_parser(
+        "dash", help="render the cross-run QoR/perf trend dashboard"
+    )
+    dash_p.add_argument("--history", default=DEFAULT_HISTORY_PATH,
+                        metavar="PATH",
+                        help="history JSONL to chart "
+                             f"(default: {DEFAULT_HISTORY_PATH})")
+    dash_p.add_argument("--out", default="dash.html", metavar="PATH",
+                        help="output HTML file (default: dash.html)")
+    dash_p.add_argument("--scenario", action="append", metavar="NAME",
+                        help="chart only this scenario (repeatable)")
+    dash_p.add_argument("--title", default="QoR / performance trends",
+                        help="page title")
+    dash_p.set_defaults(handler=cmd_dash)
 
     bench_p = sub.add_parser(
         "bench", help="benchmark harness: run scenarios, gate regressions"
@@ -448,8 +702,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "cProfile reports")
     br_p.add_argument("--no-svg", action="store_true",
                       help="skip the congestion/slack SVG renders")
+    br_p.add_argument("--events-out", metavar="PATH", default=None,
+                      help="stream live repro.obs.events/v1 JSONL for the "
+                           "whole run (workers forward per-scenario "
+                           "events); tail -f friendly")
+    br_p.add_argument("--heartbeat", type=float, metavar="S",
+                      default=DEFAULT_HEARTBEAT_S,
+                      help="event-stream heartbeat cadence in seconds "
+                           f"(default: {DEFAULT_HEARTBEAT_S})")
+    br_p.add_argument("--history", metavar="PATH", default=None,
+                      help="append one repro.obs.history/v1 record per "
+                           "completed scenario to this JSONL file")
+    br_p.add_argument("--perfetto", action="store_true",
+                      help="also write BENCH_<scenario>.perfetto Chrome "
+                           "trace-event exports")
     br_p.add_argument("--quiet", action="store_true",
-                      help="suppress per-scenario progress lines")
+                      help="suppress the live progress stream (progress "
+                           "lines are an event-stream subscription; "
+                           "--events-out still writes the file)")
     br_p.set_defaults(handler=cmd_bench_run)
 
     bc_p = bench_sub.add_parser(
@@ -463,6 +733,14 @@ def build_parser() -> argparse.ArgumentParser:
     bc_p.add_argument("--no-gate-time", action="store_true",
                       help="demote wall-time/RSS failures to warnings "
                            "(cross-machine comparisons)")
+    bc_p.add_argument("--trend", action="store_true",
+                      help="gate slow cross-run drift from a history file "
+                           "instead of diffing fresh artifacts against "
+                           "baselines")
+    bc_p.add_argument("--history", default=DEFAULT_HISTORY_PATH,
+                      metavar="PATH",
+                      help="history JSONL for --trend "
+                           f"(default: {DEFAULT_HISTORY_PATH})")
     bc_p.set_defaults(handler=cmd_bench_compare)
 
     bp_p = bench_sub.add_parser(
@@ -473,6 +751,20 @@ def build_parser() -> argparse.ArgumentParser:
     bp_p.add_argument("--stages", action="store_true",
                       help="also print the per-stage wall-time breakdown")
     bp_p.set_defaults(handler=cmd_bench_report)
+
+    bv_p = bench_sub.add_parser(
+        "validate",
+        help="round-trip BENCH_*.json / *.perfetto / history files "
+             "against their schemas (exit 1 on any problem)",
+    )
+    bv_p.add_argument("dirs", nargs="*", default=[DEFAULT_BASELINE_DIR],
+                      metavar="DIR",
+                      help="directories of BENCH_* files "
+                           f"(default: {DEFAULT_BASELINE_DIR})")
+    bv_p.add_argument("--history", action="append", metavar="PATH",
+                      help="also round-trip this history JSONL "
+                           "(repeatable)")
+    bv_p.set_defaults(handler=cmd_bench_validate)
     return parser
 
 

@@ -27,7 +27,7 @@ from repro.floorplan.pins import place_ports, validate_alignment
 from repro.geom import Point, Rect
 from repro.metrics.ppa import PPASummary
 from repro.netlist.core import Instance, Netlist
-from repro.obs import annotate, count, gauge, observe, span
+from repro.obs import annotate, count, gauge, mark, observe, span
 from repro.opt.buffering import BufferPlan, plan_buffers
 from repro.opt.sizing import SizingResult, size_for_load, size_for_timing
 from repro.place.global_place import GlobalPlacerOptions, Placement, global_place
@@ -112,6 +112,10 @@ def place_design(
         observe("legalize_displacement_um", float(legal.displacement.sum()))
     with span("detailed_place"):
         refine_placement(legal.placement)
+    # Live-stream milestone: a watcher sees placement quality the moment
+    # it exists, not when the whole flow returns.
+    mark("placed", cells=netlist.num_instances, forced=legal.forced,
+         failures=legal.failures)
     return legal.placement, legal, ports
 
 
@@ -161,6 +165,8 @@ def route_design(
         assignment = LayerAssigner(grid, die1_cells).run(routed)
         count("f2f_vias", assignment.total_f2f)
         count("signal_vias", assignment.total_vias)
+    mark("routed", nets=len(routed), overflow=float(grid.overflow_2d()),
+         f2f_vias=assignment.total_f2f)
     return grid, routed, assignment
 
 
@@ -283,6 +289,8 @@ def signoff_design(
             sta = run_sta(graph, slow, plan, constraints)
         gauge("min_period_ps", sta.min_period)
         gauge("timing_endpoints", float(len(sta.endpoint_period)))
+    mark("signoff_sta", min_period_ps=sta.min_period,
+         fmax_mhz=sta.fmax_mhz)
     with span("power"):
         power = analyze_power(netlist, typical, plan, clock_tree, constraints)
     return Signoff(slow, typical, plan, sizing, sta, power, constraints)
@@ -308,7 +316,7 @@ def verify_design(
     fix-up passes (overlap fix, F2F planning, re-route) left behind.
     """
     with span("verify", nets=len(routed)):
-        return run_drc(
+        report = run_drc(
             netlist,
             placement,
             floorplan,
@@ -320,6 +328,8 @@ def verify_design(
             flow=flow,
             design=design,
         )
+    mark("verified", violations=report.total, clean=report.clean)
+    return report
 
 
 # -- summary -----------------------------------------------------------------------------

@@ -14,6 +14,17 @@ process-global recorder slot:
 A completed recording serialises to the stable ``FlowTrace`` JSON schema
 (:mod:`repro.obs.report`), which ``python -m repro run --trace-out`` and
 ``python -m repro trace`` expose from the command line.
+
+Three sibling subsystems extend the post-mortem trace:
+
+- :mod:`repro.obs.events` — a live JSONL event stream
+  (``repro.obs.events/v1``) emitted *during* a run: span open/close,
+  heartbeats with RSS + counter deltas, instant marks;
+- :mod:`repro.obs.export` — lossless conversion of FlowTraces and
+  event streams to Chrome trace-event JSON (Perfetto-loadable);
+- :mod:`repro.obs.history` — the cross-run metrics store
+  (``repro.obs.history/v1``) behind ``repro dash`` and
+  ``bench compare --trend``.
 """
 
 from repro.obs.trace import (
@@ -39,23 +50,55 @@ from repro.obs.report import (
     load_trace,
 )
 from repro.obs.profile import profile_call
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EventStream,
+    active_stream,
+    mark,
+    read_events,
+    streaming,
+)
+from repro.obs.history import (
+    DEFAULT_HISTORY_PATH,
+    HISTORY_SCHEMA,
+    HistoryRecord,
+    append_history,
+    load_history,
+    record_from_artifact,
+    render_dashboard,
+    validate_history,
+)
 
 __all__ = [
+    "DEFAULT_HISTORY_PATH",
+    "EVENTS_SCHEMA",
+    "EventStream",
     "FLOWTRACE_SCHEMA",
     "FlowTrace",
+    "HISTORY_SCHEMA",
     "HistogramStats",
+    "HistoryRecord",
     "MetricsRegistry",
     "NullSpan",
     "Recorder",
     "SpanRecord",
     "active_recorder",
+    "active_stream",
     "annotate",
+    "append_history",
     "count",
     "format_trace",
     "gauge",
+    "load_history",
     "load_trace",
+    "mark",
     "observe",
     "profile_call",
+    "read_events",
+    "record_from_artifact",
     "recording",
+    "render_dashboard",
     "span",
+    "streaming",
+    "validate_history",
 ]

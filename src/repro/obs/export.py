@@ -1,0 +1,262 @@
+"""Chrome trace-event export: FlowTraces and event streams in Perfetto.
+
+Both observability formats convert losslessly to the Chrome trace-event
+JSON that ``chrome://tracing`` and https://ui.perfetto.dev load:
+
+- :func:`chrome_trace_from_flowtrace` — the post-mortem span tree as
+  complete (``ph="X"``) events, counters/gauges as counter tracks,
+  histograms preserved under ``otherData``;
+- :func:`chrome_trace_from_events` — a live ``repro.obs.events/v1``
+  JSONL stream as begin/end (``ph="B"``/``"E"``) pairs with one process
+  per scenario and one track per thread/worker, heartbeat RSS and
+  counter deltas as counter tracks, marks as instants.
+
+Timestamps are microseconds (the trace-event unit); every emitted
+event carries the ``name``/``ph``/``pid``/``tid``/``ts`` quartet the
+viewers require, and the document is a JSON *object* (not a bare
+array) so ``otherData`` can carry the source schema and anything the
+event model has no native track for.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.report import FlowTrace
+from repro.obs.trace import SpanRecord
+
+#: Document-level marker for round-trip checks and provenance.
+CHROME_TRACE_VERSION = "repro.obs.chrome/v1"
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def _metadata(pid: int, tid: int, name: str, kind: str) -> Dict[str, Any]:
+    return {
+        "ph": "M",
+        "name": kind,
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": name},
+    }
+
+
+def _document(
+    events: List[Dict[str, Any]], source: str, other: Dict[str, Any]
+) -> Dict[str, Any]:
+    other = dict(other)
+    other["exporter"] = CHROME_TRACE_VERSION
+    other["source_schema"] = source
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+# -- FlowTrace conversion ------------------------------------------------------------
+
+
+def _span_events(
+    record: SpanRecord, pid: int, tid: int, out: List[Dict[str, Any]]
+) -> None:
+    args: Dict[str, Any] = dict(record.attrs)
+    if record.peak_rss_kb is not None:
+        args["peak_rss_kb"] = record.peak_rss_kb
+    out.append({
+        "name": record.name,
+        "cat": "stage",
+        "ph": "X",
+        "ts": _us(record.start_s),
+        "dur": _us(record.duration_s),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    })
+    for child in record.children:
+        _span_events(child, pid, tid, out)
+
+
+def chrome_trace_from_flowtrace(trace: FlowTrace) -> Dict[str, Any]:
+    """Convert a completed FlowTrace to a Chrome trace-event document.
+
+    The span tree lands on one track (FlowTraces do not record thread
+    identity; flows are single-threaded stage pipelines), counters and
+    gauges become single-sample counter tracks at the trace end, and
+    histogram summaries ride along in ``otherData`` — nothing in the
+    FlowTrace is dropped.
+    """
+    pid, tid = 1, 1
+    label = f"{trace.flow or '?'} on {trace.design or '?'}"
+    events: List[Dict[str, Any]] = [
+        _metadata(pid, 0, label, "process_name"),
+        _metadata(pid, tid, "flow", "thread_name"),
+    ]
+    for root in trace.spans:
+        _span_events(root, pid, tid, events)
+    end_ts = _us(trace.total_duration_s())
+    for name, value in sorted(trace.counters.items()):
+        events.append({
+            "name": name, "cat": "counter", "ph": "C",
+            "ts": end_ts, "pid": pid, "tid": tid, "args": {name: value},
+        })
+    for name, value in sorted(trace.gauges.items()):
+        events.append({
+            "name": name, "cat": "gauge", "ph": "C",
+            "ts": end_ts, "pid": pid, "tid": tid, "args": {name: value},
+        })
+    return _document(
+        events,
+        source="repro.obs.flowtrace/v1",
+        other={
+            "flow": trace.flow,
+            "design": trace.design,
+            "histograms": {
+                name: stats.to_dict()
+                for name, stats in sorted(trace.histograms.items())
+            },
+        },
+    )
+
+
+# -- event-stream conversion ---------------------------------------------------------
+
+
+class _TrackMap:
+    """Assign stable compact pids/tids to (scenario, thread) pairs."""
+
+    def __init__(self) -> None:
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[str, Any], int] = {}
+        self.metadata: List[Dict[str, Any]] = []
+
+    def pid(self, scenario: str) -> int:
+        if scenario not in self._pids:
+            self._pids[scenario] = len(self._pids) + 1
+            self.metadata.append(_metadata(
+                self._pids[scenario], 0, scenario or "run", "process_name"
+            ))
+        return self._pids[scenario]
+
+    def tid(self, scenario: str, raw_tid: Any) -> int:
+        key = (scenario, raw_tid)
+        if key not in self._tids:
+            per_scenario = sum(1 for s, _t in self._tids if s == scenario)
+            self._tids[key] = per_scenario + 1
+            self.metadata.append(_metadata(
+                self.pid(scenario), self._tids[key],
+                "flow" if per_scenario == 0 else f"thread-{per_scenario + 1}",
+                "thread_name",
+            ))
+        return self._tids[key]
+
+
+def chrome_trace_from_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Convert a parsed ``repro.obs.events/v1`` stream to a Chrome trace.
+
+    One process per scenario (bench workers tag every event), one track
+    per emitting thread, ``B``/``E`` pairs for spans, instants for
+    marks, and counter tracks for heartbeat RSS plus the running totals
+    of every counter delta the heartbeats carried.
+    """
+    tracks = _TrackMap()
+    body: List[Dict[str, Any]] = []
+    totals: Dict[Tuple[str, str], float] = {}
+    for event in events:
+        kind = event.get("type")
+        scenario = str(event.get("scenario", ""))
+        ts = _us(float(event.get("t", 0.0)))
+        if kind in ("span_open", "span_close"):
+            pid = tracks.pid(scenario)
+            tid = tracks.tid(scenario, event.get("tid", 0))
+            body.append({
+                "name": event.get("name", "?"),
+                "cat": "stage",
+                "ph": "B" if kind == "span_open" else "E",
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+                "args": dict(event.get("attrs", {})),
+            })
+        elif kind == "mark":
+            body.append({
+                "name": event.get("name", "?"),
+                "cat": "mark",
+                "ph": "i",
+                "s": "p",
+                "ts": ts,
+                "pid": tracks.pid(scenario),
+                "tid": tracks.tid(scenario, event.get("tid", 0)),
+                "args": dict(event.get("attrs", {})),
+            })
+        elif kind in ("heartbeat", "run_end"):
+            pid = tracks.pid(scenario)
+            rss = event.get("rss_kb")
+            if rss is not None:
+                body.append({
+                    "name": "rss_kb", "cat": "counter", "ph": "C",
+                    "ts": ts, "pid": pid, "tid": 0,
+                    "args": {"rss_kb": rss},
+                })
+            for name, delta in sorted(event.get("counters", {}).items()):
+                key = (scenario, name)
+                totals[key] = totals.get(key, 0.0) + float(delta)
+                body.append({
+                    "name": name, "cat": "counter", "ph": "C",
+                    "ts": ts, "pid": pid, "tid": 0,
+                    "args": {name: totals[key]},
+                })
+    return _document(
+        tracks.metadata + body,
+        source="repro.obs.events/v1",
+        other={"num_events": len(events)},
+    )
+
+
+def write_chrome_trace(path: str, document: Dict[str, Any]) -> None:
+    """Serialize a trace-event document (stable key order, one file)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> List[str]:
+    """Structural check against the trace-event format contract.
+
+    Returns a list of problems (empty when the document is loadable):
+    the top level must carry a ``traceEvents`` array, every event needs
+    ``ph``/``name``/``pid``/``tid`` plus a numeric ``ts`` (and ``dur``
+    for complete events), and ``B``/``E`` pairs must balance per track.
+    This is what CI runs over every exported artifact — a cheap local
+    stand-in for "Perfetto's JSON parser accepts it".
+    """
+    problems: List[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    depth: Dict[Tuple[Any, Any], int] = {}
+    for index, event in enumerate(events):
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        ph = event.get("ph")
+        if ph != "M" and not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"event {index}: non-numeric ts")
+        if ph == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"event {index}: complete event without dur")
+        if ph in ("B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            depth[key] = depth.get(key, 0) + (1 if ph == "B" else -1)
+            if depth[key] < 0:
+                problems.append(f"event {index}: E without matching B")
+                depth[key] = 0
+    for (pid, tid), open_spans in sorted(depth.items()):
+        if open_spans > 0:
+            problems.append(
+                f"track pid={pid} tid={tid}: {open_spans} unclosed B event(s)"
+            )
+    return problems

@@ -1,0 +1,285 @@
+"""Cross-run metrics history: the longitudinal QoR/perf record.
+
+``BENCH_*.json`` baselines compare exactly two points in time; the
+history store keeps *every* run.  ``benchmarks/history.jsonl`` holds
+one JSON line per scenario run (schema ``repro.obs.history/v1``): the
+git revision, a wall-clock stamp, per-stage wall seconds, peak RSS,
+the paper-style PPA block, and the obs counters.  From it:
+
+- ``python -m repro dash`` renders a dependency-free HTML/SVG
+  dashboard of wall-time, wirelength, fclk, and DRC trends per
+  scenario (:func:`render_dashboard`);
+- ``bench compare --trend`` runs the trend-aware comparator
+  (:func:`repro.bench.baseline.trend_deltas`) that flags slow N-run
+  drift the single-baseline >10 % gate cannot see;
+- ``bench run --history PATH`` appends a record per completed
+  scenario, which is how CI grows a job-local history and how a
+  long-lived checkout accumulates the committed one.
+
+Lines are canonical JSON (sorted keys, no indent) so the file is both
+appendable and byte-round-trippable — ``bench validate`` re-serializes
+every line and requires equality.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+HISTORY_SCHEMA = "repro.obs.history/v1"
+
+#: Default location of the committed history, relative to the repo root.
+DEFAULT_HISTORY_PATH = os.path.join("benchmarks", "history.jsonl")
+
+#: The metrics the dashboard charts per scenario (path, axis label).
+DASHBOARD_METRICS = (
+    ("wall_s_total", "wall time [s]"),
+    ("ppa.fclk_mhz", "fclk [MHz]"),
+    ("ppa.total_wirelength_m", "wirelength [m]"),
+    ("ppa.drc_total", "DRC violations"),
+)
+
+
+@dataclass
+class HistoryRecord:
+    """One scenario run's longitudinal footprint."""
+
+    scenario: str
+    flow: str = ""
+    config: str = ""
+    size: str = ""
+    git_rev: str = ""
+    ts_unix: float = 0.0
+    wall_s_total: float = 0.0
+    peak_rss_kb: Optional[int] = None
+    stages: Dict[str, float] = field(default_factory=dict)
+    ppa: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def lookup(self, path: str) -> Optional[float]:
+        """Resolve the same dotted metric paths bench artifacts use."""
+        parts = path.split(".")
+        if len(parts) == 1:
+            value = getattr(self, parts[0], None)
+            return None if value is None else float(value)
+        if len(parts) == 2 and parts[0] in ("ppa", "counters", "stages"):
+            value = getattr(self, parts[0]).get(parts[1])
+            return None if value is None else float(value)
+        # stages.<name>.wall_s — artifact-style path, stages store wall_s.
+        if len(parts) == 3 and parts[0] == "stages" and parts[2] == "wall_s":
+            value = self.stages.get(parts[1])
+            return None if value is None else float(value)
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": HISTORY_SCHEMA,
+            "scenario": self.scenario,
+            "flow": self.flow,
+            "config": self.config,
+            "size": self.size,
+            "git_rev": self.git_rev,
+            "ts_unix": self.ts_unix,
+            "wall_s_total": self.wall_s_total,
+            "peak_rss_kb": self.peak_rss_kb,
+            "stages": dict(sorted(self.stages.items())),
+            "ppa": dict(sorted(self.ppa.items())),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "HistoryRecord":
+        schema = data.get("schema")
+        if schema != HISTORY_SCHEMA:
+            raise ValueError(
+                f"not a history record (schema {schema!r}, "
+                f"expected {HISTORY_SCHEMA!r})"
+            )
+        rss = data.get("peak_rss_kb")
+        return HistoryRecord(
+            scenario=data.get("scenario", ""),
+            flow=data.get("flow", ""),
+            config=data.get("config", ""),
+            size=data.get("size", ""),
+            git_rev=data.get("git_rev", ""),
+            ts_unix=float(data.get("ts_unix", 0.0)),
+            wall_s_total=float(data.get("wall_s_total", 0.0)),
+            peak_rss_kb=None if rss is None else int(rss),
+            stages={k: float(v) for k, v in data.get("stages", {}).items()},
+            ppa={k: float(v) for k, v in data.get("ppa", {}).items()},
+            counters={
+                k: float(v) for k, v in data.get("counters", {}).items()
+            },
+        )
+
+
+def record_from_artifact(
+    artifact, git_rev: str = "", ts_unix: float = 0.0
+) -> HistoryRecord:
+    """Distill a :class:`~repro.bench.artifact.BenchArtifact` into its
+    history footprint (identity + runtime + PPA + counters)."""
+    return HistoryRecord(
+        scenario=artifact.scenario,
+        flow=artifact.flow,
+        config=artifact.config,
+        size=artifact.size,
+        git_rev=git_rev,
+        ts_unix=round(float(ts_unix), 3),
+        wall_s_total=artifact.wall_s_total,
+        peak_rss_kb=artifact.peak_rss_kb,
+        stages={s.name: s.wall_s for s in artifact.stages},
+        ppa=dict(artifact.ppa),
+        counters=dict(artifact.counters),
+    )
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The short HEAD revision, or ``"unknown"`` outside a git repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+def append_history(path: str, record: HistoryRecord) -> None:
+    """Append one record to a history file (created on first use)."""
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(record.to_json_line() + "\n")
+
+
+def load_history(path: str) -> List[HistoryRecord]:
+    """Parse a history JSONL file (raises on schema violations)."""
+    records: List[HistoryRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: not JSON ({exc})") from None
+            records.append(HistoryRecord.from_dict(data))
+    return records
+
+
+def validate_history(path: str) -> List[str]:
+    """Round-trip every line; returns problems (empty when clean).
+
+    A line is valid when it parses, carries the schema, and
+    re-serializes byte-identically — the same bar ``bench validate``
+    holds committed ``BENCH_*.json`` artifacts to.
+    """
+    problems: List[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = HistoryRecord.from_dict(json.loads(line))
+            except (ValueError, KeyError) as exc:
+                problems.append(f"{path}:{number}: {exc}")
+                continue
+            if record.to_json_line() != line:
+                problems.append(
+                    f"{path}:{number}: not canonical JSON "
+                    "(round-trip differs)"
+                )
+    return problems
+
+
+def group_by_scenario(
+    records: List[HistoryRecord],
+) -> Dict[str, List[HistoryRecord]]:
+    """Records per scenario, each list in (ts, insertion) order."""
+    groups: Dict[str, List[HistoryRecord]] = {}
+    for record in records:
+        groups.setdefault(record.scenario, []).append(record)
+    for runs in groups.values():
+        runs.sort(key=lambda r: r.ts_unix)
+    return groups
+
+
+# -- dashboard -----------------------------------------------------------------------
+
+
+def render_dashboard(
+    records: List[HistoryRecord],
+    title: str = "QoR / performance trends",
+) -> str:
+    """Render the cross-run trend dashboard as one self-contained HTML
+    page (inline SVG charts via :mod:`repro.bench.svg`, no JS, no deps).
+
+    Emitted as XHTML-compatible markup so tests can assert
+    well-formedness with a plain XML parser.
+    """
+    # Imported lazily: repro.bench imports repro.obs at package load.
+    from repro.bench.svg import render_trend_svg
+
+    groups = group_by_scenario(records)
+    body: List[str] = []
+    for scenario in sorted(groups):
+        runs = groups[scenario]
+        revs = [run.git_rev or "?" for run in runs]
+        charts: List[str] = []
+        for path, label in DASHBOARD_METRICS:
+            values = [run.lookup(path) for run in runs]
+            series = [0.0 if v is None else v for v in values]
+            chart = render_trend_svg(series, title=label, labels=revs)
+            # The standalone render carries an XML declaration, which is
+            # only legal at the top of a document — strip it to inline.
+            if chart.startswith("<?xml"):
+                chart = chart.split("?>", 1)[1].lstrip("\n")
+            charts.append(chart)
+        span = (
+            f"{len(runs)} run(s), {revs[0]} → {revs[-1]}"
+            if runs else "no runs"
+        )
+        body.append(
+            f'<section class="scenario">\n'
+            f"<h2>{_escape(scenario)}</h2>\n"
+            f'<p class="meta">{_escape(span)}</p>\n'
+            f'<div class="charts">\n' + "\n".join(charts) + "\n</div>\n"
+            "</section>"
+        )
+    style = (
+        "body{font-family:monospace;margin:24px;background:#fafafa}"
+        "h1{font-size:18px}h2{font-size:15px;margin-bottom:2px}"
+        ".meta{color:#666;font-size:12px;margin-top:0}"
+        ".charts{display:flex;flex-wrap:wrap;gap:12px}"
+        "section{margin-bottom:28px}"
+    )
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        '<html xmlns="http://www.w3.org/1999/xhtml" lang="en">\n'
+        "<head>\n"
+        f"<title>{_escape(title)}</title>\n"
+        f"<style>{style}</style>\n"
+        "</head>\n<body>\n"
+        f"<h1>{_escape(title)}</h1>\n"
+        f'<p class="meta">{len(records)} record(s), '
+        f"{len(groups)} scenario(s) — schema {HISTORY_SCHEMA}</p>\n"
+        + "\n".join(body)
+        + "\n</body>\n</html>\n"
+    )
+
+
+def _escape(text: str) -> str:
+    from xml.sax.saxutils import escape
+
+    return escape(str(text))

@@ -141,6 +141,11 @@ class MetricsRegistry:
         with self._lock:
             self.gauges[name] = value
 
+    def counters_snapshot(self) -> Dict[str, float]:
+        """A consistent copy of the counters (for heartbeat deltas)."""
+        with self._lock:
+            return dict(self.counters)
+
     def observe(self, name: str, value: float) -> None:
         with self._lock:
             stats = self.histograms.get(name)

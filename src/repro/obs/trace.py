@@ -25,6 +25,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -40,15 +41,22 @@ except ImportError:  # pragma: no cover
 def _peak_rss_kb() -> Optional[int]:
     """Peak resident set size of the process, in kB.
 
+    ``getrusage`` reports ``ru_maxrss`` in kilobytes on Linux but in
+    *bytes* on macOS; the value is normalized to kB here so every
+    consumer (span records, bench artifacts, heartbeats) sees one unit.
     Returns ``None`` (serialized as JSON ``null``) when no sampling
     mechanism exists on this platform, so bench artifacts stay portable:
     a missing measurement must not masquerade as "0 kB used".
     """
     if resource is not None:
         try:
-            return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+            raw = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
         except (OSError, ValueError):  # pragma: no cover
-            pass
+            raw = None
+        if raw is not None:
+            if sys.platform == "darwin":
+                return raw // 1024
+            return raw
     try:  # pragma: no cover - exercised only where resource is missing
         with open("/proc/self/status", "r", encoding="ascii") as handle:
             for line in handle:
@@ -131,13 +139,14 @@ _NULL_SPAN = NullSpan()
 class _LiveSpan:
     """Context manager that records into its recorder on exit."""
 
-    __slots__ = ("_recorder", "record", "_t0")
+    __slots__ = ("_recorder", "record", "_t0", "_depth")
 
     def __init__(self, recorder: "Recorder", name: str,
                  attrs: Dict[str, Any]):
         self._recorder = recorder
         self.record = SpanRecord(name=name, attrs=attrs)
         self._t0 = 0.0
+        self._depth = 0
 
     def set(self, **attrs: Any) -> "_LiveSpan":
         self.record.attrs.update(attrs)
@@ -145,14 +154,21 @@ class _LiveSpan:
 
     def __enter__(self) -> "_LiveSpan":
         self._recorder._push(self.record)
+        self._depth = len(self._recorder._stack()) - 1
         self._t0 = time.perf_counter()
         self.record.start_s = self._t0 - self._recorder.epoch
+        sink = _SINK
+        if sink is not None:
+            sink.span_open(self.record, self._depth)
         return self
 
     def __exit__(self, *exc: object) -> bool:
         self.record.duration_s = time.perf_counter() - self._t0
         self.record.peak_rss_kb = _peak_rss_kb()
         self._recorder._pop(self.record)
+        sink = _SINK
+        if sink is not None:
+            sink.span_close(self.record, self._depth)
         return False
 
 
@@ -213,6 +229,11 @@ class Recorder:
 
 #: The process-global recorder; ``None`` means tracing is disabled.
 _ACTIVE: Optional[Recorder] = None
+
+#: The process-global live-event sink (see :mod:`repro.obs.events`);
+#: ``None`` means no stream is attached.  Spans consult it only while a
+#: recorder is active, so the disabled path stays a single global load.
+_SINK: Optional[Any] = None
 
 
 def active_recorder() -> Optional[Recorder]:

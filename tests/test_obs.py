@@ -260,6 +260,35 @@ class TestHistogramPercentiles:
         stats = HistogramStats()
         assert stats.percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
 
+    @pytest.mark.parametrize("seed", [0, 7, 1234])
+    def test_decimated_percentiles_are_run_to_run_identical(self, seed):
+        """Property: after 2:1 decimation kicks in (> SAMPLE_CAP
+        samples), p50/p95/p99 are a pure function of the input sequence
+        — two independent ingests of the same stream serialize
+        byte-identically, which is what lets bench QoR artifacts be
+        compared across serial/parallel runs and machines."""
+        import random
+
+        from repro.obs.metrics import SAMPLE_CAP
+
+        rng = random.Random(seed)
+        values = [rng.expovariate(0.5) for _ in range(SAMPLE_CAP * 3 + 17)]
+
+        def ingest():
+            stats = HistogramStats()
+            for v in values:
+                stats.add(v)
+            return stats
+
+        first, second = ingest(), ingest()
+        assert first.stride > 1  # decimation actually happened
+        assert first.percentiles() == second.percentiles()
+        assert (json.dumps(first.to_dict(), sort_keys=True)
+                == json.dumps(second.to_dict(), sort_keys=True))
+        # And the retained subsample is itself deterministic.
+        assert first.samples == second.samples
+        assert first.stride == second.stride
+
     def test_format_trace_shows_percentiles(self):
         with recording() as rec:
             for v in range(10):
@@ -303,6 +332,57 @@ class TestPeakRssPortability:
 
         value = _peak_rss_kb()
         assert value is None or value > 0
+
+    @staticmethod
+    def _fake_resource(ru_maxrss):
+        class FakeUsage:
+            pass
+
+        usage = FakeUsage()
+        usage.ru_maxrss = ru_maxrss
+
+        class FakeResource:
+            RUSAGE_SELF = 0
+
+            @staticmethod
+            def getrusage(_who):
+                return usage
+
+        return FakeResource()
+
+    def test_linux_maxrss_is_already_kb(self, monkeypatch):
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(
+            trace_mod, "resource", self._fake_resource(51200)
+        )
+        monkeypatch.setattr(trace_mod.sys, "platform", "linux")
+        assert trace_mod._peak_rss_kb() == 51200
+
+    def test_darwin_maxrss_bytes_normalized_to_kb(self, monkeypatch):
+        # macOS getrusage reports ru_maxrss in *bytes*; the sampler must
+        # normalize so a 50 MiB process never reads as 50 GiB.
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(
+            trace_mod, "resource", self._fake_resource(51200 * 1024)
+        )
+        monkeypatch.setattr(trace_mod.sys, "platform", "darwin")
+        assert trace_mod._peak_rss_kb() == 51200
+
+    def test_darwin_and_linux_agree_on_the_same_process(self, monkeypatch):
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(
+            trace_mod, "resource", self._fake_resource(12345)
+        )
+        monkeypatch.setattr(trace_mod.sys, "platform", "linux")
+        linux_kb = trace_mod._peak_rss_kb()
+        monkeypatch.setattr(
+            trace_mod, "resource", self._fake_resource(12345 * 1024)
+        )
+        monkeypatch.setattr(trace_mod.sys, "platform", "darwin")
+        assert trace_mod._peak_rss_kb() == linux_kb
 
 
 #: Acceptance criterion: every flow trace reports at least this many

@@ -252,6 +252,12 @@ def qor_dict(artifact: BenchArtifact) -> Dict[str, Any]:
     data.pop("peak_rss_kb", None)
     data.pop("meta", None)
     data["stages"] = [{"name": s["name"]} for s in data.get("stages", [])]
+    # Cache hit/miss/store counts describe how a run executed, not what
+    # it produced — a warm run must compare byte-identical to a cold one.
+    counters = data.get("counters")
+    if isinstance(counters, dict):
+        for name in [k for k in counters if k.startswith("cache_")]:
+            counters.pop(name)
     return data
 
 

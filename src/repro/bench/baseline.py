@@ -72,6 +72,11 @@ DEFAULT_SPECS: Sequence[MetricSpec] = (
     MetricSpec("counters.maze_expansions", "up", 10.0, 25.0),
     MetricSpec("counters.cg_iterations", "up", 10.0, 25.0),
     MetricSpec("counters.sizing_iterations", "up", 10.0, 25.0),
+    # Flow-service throughput (bench serve): fewer warm designs/hour is
+    # a perf regression.  Timing-class (machine-dependent), so demoted to
+    # WARN under --no-gate-time; absent on ordinary scenario records.
+    MetricSpec("counters.designs_per_hour_warm", "down", 10.0, 25.0,
+               timing=True),
 )
 
 

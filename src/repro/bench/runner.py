@@ -34,6 +34,7 @@ import os
 import threading
 import time
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -47,6 +48,7 @@ from repro.bench.artifact import (
 )
 from repro.bench.scenarios import Scenario, get_scenario
 from repro.bench.svg import render_signoff_visuals
+from repro.cache import activate_cache, caching, get_cache
 from repro.flows.base import FlowResult
 from repro.obs import FlowTrace, profile_call, recording
 from repro.obs.events import DEFAULT_HEARTBEAT_S, jsonl_writer, streaming
@@ -59,6 +61,30 @@ from repro.obs.history import (
 
 #: Filename of the per-run schedule record (skipped by artifact discovery).
 SCHEDULE_FILENAME = "BENCH_schedule.json"
+
+#: Filename of the per-run cache statistics (the ``CACHE_`` prefix keeps
+#: it out of the ``BENCH_*.json`` artifact discovery glob).
+CACHE_STATS_FILENAME = "CACHE_stats.json"
+
+#: Warning issued when ``--jobs`` is requested on a platform without the
+#: fork start method (satisfying the parallel path's fork assumptions:
+#: inherited event queues and runtime-registered scenarios).
+FORK_FALLBACK_MESSAGE = (
+    "parallel bench runs require the 'fork' multiprocessing start method "
+    "(workers inherit the event queue and runtime-registered scenarios); "
+    "this platform only offers spawn-style starts, so scenarios will run "
+    "serially instead"
+)
+
+
+def fork_context() -> Optional[Any]:
+    """The fork multiprocessing context, or None where unavailable."""
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - defensive
+        return None
 
 
 @dataclass
@@ -158,11 +184,16 @@ _WORKER_EVENT_QUEUE: Optional[Any] = None
 _WORKER_HEARTBEAT_S: float = DEFAULT_HEARTBEAT_S
 
 
-def _init_worker_events(queue: Any, heartbeat_s: float) -> None:
-    """Pool initializer: adopt the parent's event queue (fork-inherited)."""
+def _init_worker_events(
+    queue: Any, heartbeat_s: float, cache_dir: Optional[str] = None
+) -> None:
+    """Pool initializer: adopt the parent's event queue (fork-inherited)
+    and, when caching, activate the worker's ambient stage cache."""
     global _WORKER_EVENT_QUEUE, _WORKER_HEARTBEAT_S
     _WORKER_EVENT_QUEUE = queue
     _WORKER_HEARTBEAT_S = heartbeat_s
+    if cache_dir is not None:
+        activate_cache(get_cache(cache_dir))
 
 
 def _bench_worker(
@@ -246,6 +277,7 @@ def run_benchmarks(
     heartbeat_s: float = DEFAULT_HEARTBEAT_S,
     history_path: Optional[str] = None,
     perfetto: bool = False,
+    cache_dir: Optional[str] = None,
 ) -> Tuple[
     List[Tuple[Scenario, BenchArtifact, List[str]]],
     Dict[str, Any],
@@ -271,6 +303,11 @@ def run_benchmarks(
     ``wall_budget_s``) lands in the failures list instead of aborting
     the run; its results entry is dropped (budget overruns keep
     theirs — the artifact is valid, just slow).
+
+    ``cache_dir`` activates the content-addressed stage cache for every
+    scenario (serial runs via the scoped context manager, parallel runs
+    via the pool initializer) and writes the run's aggregate cache
+    footprint to ``CACHE_stats.json`` in ``out_dir``.
     """
     by_name = {scenario.name: scenario for scenario in scenarios}
     artifacts: Dict[str, Tuple[BenchArtifact, List[str]]] = {}
@@ -315,39 +352,49 @@ def run_benchmarks(
         last = formatted.strip().splitlines()[-1] if formatted else "crashed"
         failures.append(BenchFailure(name, last, formatted))
 
+    parallel = jobs > 1 and len(scenarios) > 1
+    context: Optional[Any] = None
+    if parallel:
+        # The parallel path assumes fork: workers inherit the event queue
+        # and any runtime-registered scenarios.  Without it, degrade to a
+        # serial run loudly rather than spawn workers that silently miss
+        # registrations.
+        context = fork_context()
+        if context is None:
+            warnings.warn(FORK_FALLBACK_MESSAGE, RuntimeWarning, stacklevel=2)
+            parallel = False
     try:
-        if jobs <= 1 or len(scenarios) <= 1:
-            for scenario in scenarios:
-                stream_cm = (
-                    streaming(
-                        dispatch_event,
-                        heartbeat_s=heartbeat_s,
-                        base={"scenario": scenario.name},
-                    )
-                    if events_enabled
-                    else nullcontext()
-                )
-                start = time.monotonic()
-                try:
-                    with stream_cm:
-                        artifact, paths = write_benchmark(
-                            scenario, out_dir, svg=svg, profile=profile,
-                            perfetto=perfetto,
+        if not parallel:
+            cache_cm = (
+                caching(get_cache(cache_dir))
+                if cache_dir is not None
+                else nullcontext()
+            )
+            with cache_cm:
+                for scenario in scenarios:
+                    stream_cm = (
+                        streaming(
+                            dispatch_event,
+                            heartbeat_s=heartbeat_s,
+                            base={"scenario": scenario.name},
                         )
-                except Exception:
+                        if events_enabled
+                        else nullcontext()
+                    )
+                    start = time.monotonic()
+                    try:
+                        with stream_cm:
+                            artifact, paths = write_benchmark(
+                                scenario, out_dir, svg=svg, profile=profile,
+                                perfetto=perfetto,
+                            )
+                    except Exception:
+                        rows.append((scenario.name, start, time.monotonic()))
+                        crashed(scenario.name, traceback.format_exc())
+                        continue
                     rows.append((scenario.name, start, time.monotonic()))
-                    crashed(scenario.name, traceback.format_exc())
-                    continue
-                rows.append((scenario.name, start, time.monotonic()))
-                finish(scenario.name, artifact, paths)
+                    finish(scenario.name, artifact, paths)
         else:
-            # Fork keeps runtime-registered scenarios visible to workers; on
-            # platforms without fork the default (spawn) still covers the
-            # built-in registry.
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-fork platforms
-                context = multiprocessing.get_context()
             queue = context.Queue() if events_enabled else None
             drainer: Optional[threading.Thread] = None
             if queue is not None:
@@ -366,12 +413,12 @@ def run_benchmarks(
                 )
                 drainer.start()
             pool_kwargs: Dict[str, Any] = {}
-            if queue is not None:
+            if queue is not None or cache_dir is not None:
                 # initargs travel through the worker Process constructor,
                 # so the fork-context queue is inherited, not pickled.
                 pool_kwargs = {
                     "initializer": _init_worker_events,
-                    "initargs": (queue, heartbeat_s),
+                    "initargs": (queue, heartbeat_s, cache_dir),
                 }
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(scenarios)), mp_context=context,
@@ -413,12 +460,25 @@ def run_benchmarks(
     rows.sort(key=lambda row: row[1])
     schedule = _schedule_dict(jobs, rows)
     write_schedule(out_dir, schedule)
+    if cache_dir is not None:
+        write_cache_stats(out_dir, cache_dir)
     results = [
         (scenario, *artifacts[scenario.name])
         for scenario in scenarios
         if scenario.name in artifacts
     ]
     return results, schedule, failures
+
+
+def write_cache_stats(out_dir: str, cache_dir: str) -> str:
+    """Write the cache root's aggregate footprint next to the artifacts."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, CACHE_STATS_FILENAME)
+    stats = get_cache(cache_dir).stats()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def scenarios_overlapped(schedule: Dict[str, Any]) -> bool:

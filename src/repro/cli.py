@@ -9,6 +9,8 @@ Commands::
     python -m repro run --flow macro3d --trace-out run.json --quiet
     python -m repro run --flow macro3d --profile
     python -m repro run --flow macro3d --events-out run.events.jsonl
+    python -m repro run --flow macro3d --cache
+    python -m repro run --flow macro3d --cache-dir /tmp/repro-cache
     python -m repro compare --config small --scale 0.03
     python -m repro table3 --config large
     python -m repro floorplans --config small
@@ -21,10 +23,16 @@ Commands::
     python -m repro bench run --all --jobs 2 --profile
     python -m repro bench run --all --events-out bench.events.jsonl \\
         --history benchmarks/history.jsonl --perfetto
+    python -m repro bench run --all --cache --out bench_out/
+    python -m repro bench serve --scenario macro3d-largecache-small \\
+        --jobs 2 --repeat 3 --history benchmarks/history.jsonl
     python -m repro bench compare --out bench_out/
     python -m repro bench compare --trend --history benchmarks/history.jsonl
     python -m repro bench report --out bench_out/
     python -m repro bench validate benchmarks/baselines bench_out/
+    python -m repro serve --jobs 2 < jobs.txt
+    python -m repro cache stats
+    python -m repro cache clear
 """
 
 from __future__ import annotations
@@ -78,6 +86,23 @@ def _print_result(result: FlowResult) -> None:
               f"({critical.launch}-cycle, {critical.delay:.0f} ps)")
 
 
+def _cache_wanted(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "cache", False) or
+                getattr(args, "cache_dir", None))
+
+
+def _cache_context(args: argparse.Namespace):
+    """The ambient stage-cache context for --cache/--cache-dir (no-op
+    when neither flag is given)."""
+    from contextlib import nullcontext
+
+    if not _cache_wanted(args):
+        return nullcontext()
+    from repro.cache import caching, get_cache
+
+    return caching(get_cache(args.cache_dir))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from contextlib import nullcontext
 
@@ -92,20 +117,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         kwargs["macro_tech"] = hk28_macro_die(args.macro_metals)
 
     def execute() -> FlowResult:
-        if args.profile:
-            result, report = profile_call(
-                runner, _config(args.config), scale=args.scale, **kwargs
-            )
-            profile_out = (args.trace_out or "run") + ".profile.txt"
-            with open(profile_out, "w", encoding="utf-8") as handle:
-                handle.write(report)
-            # --quiet suppresses the progress/summary stream, not the
-            # pointer to a file the user explicitly asked for — without
-            # this line `--profile --quiet` silently writes to a path
-            # the user has to guess.
-            print(f"profile written to {profile_out}", flush=True)
-            return result
-        return runner(_config(args.config), scale=args.scale, **kwargs)
+        with _cache_context(args):
+            if args.profile:
+                result, report = profile_call(
+                    runner, _config(args.config), scale=args.scale, **kwargs
+                )
+                profile_out = (args.trace_out or "run") + ".profile.txt"
+                with open(profile_out, "w", encoding="utf-8") as handle:
+                    handle.write(report)
+                # --quiet suppresses the progress/summary stream, not the
+                # pointer to a file the user explicitly asked for — without
+                # this line `--profile --quiet` silently writes to a path
+                # the user has to guess.
+                print(f"profile written to {profile_out}", flush=True)
+                return result
+            return runner(_config(args.config), scale=args.scale, **kwargs)
 
     if args.trace_out or args.events_out:
         # Span events only stream while a recorder is live, so
@@ -374,6 +400,11 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         raise SystemExit("bench run: pass --all or --scenario NAME")
     if args.jobs < 1:
         raise SystemExit("bench run: --jobs must be >= 1")
+    cache_dir = None
+    if _cache_wanted(args):
+        from repro.cache import resolve_cache_dir
+
+        cache_dir = resolve_cache_dir(args.cache_dir)
     scenarios = _bench_scenarios(args)
     on_event = None if args.quiet else _progress_printer()
 
@@ -395,6 +426,7 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
         heartbeat_s=args.heartbeat,
         history_path=args.history,
         perfetto=args.perfetto,
+        cache_dir=cache_dir,
     )
     if args.profile:
         # Same contract as `run --profile`: the pointer to files the
@@ -412,11 +444,165 @@ def cmd_bench_run(args: argparse.Namespace) -> int:
             print(f"events streamed to {args.events_out}")
         if args.history:
             print(f"history appended to {args.history}")
+        if cache_dir is not None:
+            print(f"stage cache at {cache_dir} "
+                  f"(stats in {args.out}/CACHE_stats.json)")
     for failure in failures:
         print(f"FAILED {failure.scenario}: {failure.error}", file=sys.stderr)
         if failure.traceback:
             print(failure.traceback, file=sys.stderr)
     return 1 if failures else 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Measure designs/hour through a persistent warm flow service.
+
+    Round 0 runs every selected scenario cold (empty stage cache),
+    rounds 1..--repeat rerun them warm through the *same* service.
+    Warm runs must be QoR byte-identical to cold (exit 1 otherwise);
+    --history puts the measured throughput under the trend gate.
+    """
+    import tempfile
+
+    from repro.serve import run_throughput
+
+    if not args.all and not args.scenario:
+        raise SystemExit("bench serve: pass --all or --scenario NAME")
+    if args.jobs < 1:
+        raise SystemExit("bench serve: --jobs must be >= 1")
+    if args.repeat < 1:
+        raise SystemExit("bench serve: --repeat must be >= 1")
+    scenarios = [s.name for s in _bench_scenarios(args)]
+    cleanup = None
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        # A fresh throwaway cache keeps the cold round honest.
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-cache-")
+        cleanup, cache_dir = tmp, tmp.name
+    try:
+        report = run_throughput(
+            scenarios,
+            jobs=args.jobs,
+            repeat=args.repeat,
+            out_dir=args.out,
+            cache_dir=cache_dir,
+            history_path=args.history,
+            events_path=args.events_out,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+    warm_jobs = len(scenarios) * report.repeat
+    print(f"mode {report.mode}  jobs {report.jobs}  "
+          f"scenarios {len(scenarios)}  warm rounds {report.repeat}")
+    print(f"cold: {len(scenarios):3d} design(s) in {report.cold_s:8.1f} s "
+          f"-> {report.designs_per_hour_cold:10,.1f} designs/hour")
+    print(f"warm: {warm_jobs:3d} design(s) in {report.warm_s:8.1f} s "
+          f"-> {report.designs_per_hour_warm:10,.1f} designs/hour")
+    if report.warm_cache_counters:
+        hits = report.warm_cache_counters.get("cache_hit", 0.0)
+        misses = report.warm_cache_counters.get("cache_miss", 0.0)
+        print(f"warm cache: {hits:.0f} hit(s), {misses:.0f} miss(es)")
+    if args.history:
+        print(f"history appended to {args.history}")
+    if report.qor_mismatches:
+        print("QoR MISMATCH (warm differs from cold): "
+              + ", ".join(report.qor_mismatches), file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a persistent flow service over a stream of scenario jobs.
+
+    Jobs come from --scenario flags and/or stdin (one scenario name per
+    line — pipe a file in, or type names interactively).  The service
+    keeps its workers warm between jobs, so with --cache/--cache-dir a
+    resubmitted scenario resolves as a chain of stage-cache hits.
+    """
+    from repro.bench import get_scenario
+    from repro.serve import DONE, FlowService
+
+    if args.jobs < 1:
+        raise SystemExit("serve: --jobs must be >= 1")
+    cache_dir = None
+    if _cache_wanted(args):
+        from repro.cache import resolve_cache_dir
+
+        cache_dir = resolve_cache_dir(args.cache_dir)
+    names = list(args.scenario or [])
+    use_stdin = not names
+    if use_stdin and sys.stdin.isatty() and not args.quiet:
+        print("reading scenario names from stdin (one per line, "
+              "EOF/Ctrl-D to drain and exit)", flush=True)
+    unknown = 0
+    submitted: List[int] = []
+    with FlowService(
+        jobs=args.jobs, out_dir=args.out, cache_dir=cache_dir,
+        events_path=args.events_out,
+    ) as service:
+        if not args.quiet:
+            print(f"service up: mode {service.mode}, "
+                  f"{service.workers} worker(s), artifacts in {args.out}",
+                  flush=True)
+
+        def submit(raw: str) -> None:
+            nonlocal unknown
+            name = raw.strip()
+            if not name or name.startswith("#"):
+                return
+            try:
+                get_scenario(name)
+            except KeyError as exc:
+                print(exc.args[0], file=sys.stderr)
+                unknown += 1
+                return
+            job_id = service.submit(name)
+            submitted.append(job_id)
+            if not args.quiet:
+                print(f"  queued #{job_id} {name}", flush=True)
+
+        for name in names:
+            submit(name)
+        if use_stdin:
+            for line in sys.stdin:
+                submit(line)
+        failures = 0
+        for job_id in submitted:
+            record = service.wait(job_id)
+            if record.state == DONE:
+                fclk = record.artifact.ppa.get("fclk_mhz", 0.0)
+                print(f"  done   #{record.job_id} {record.scenario}: "
+                      f"{record.wall_s:7.1f} s  fclk {fclk:6.1f} MHz",
+                      flush=True)
+            else:
+                failures += 1
+                print(f"  FAILED #{record.job_id} {record.scenario}: "
+                      f"{record.error}", file=sys.stderr)
+    if not args.quiet:
+        done = sum(1 for r in service.records if r.state == DONE)
+        print(f"drained: {done} ok, {failures} failed, "
+              f"{unknown} unknown name(s)")
+    return 1 if failures or unknown else 0
+
+
+def cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cache import get_cache
+
+    print(json.dumps(get_cache(args.cache_dir).stats().to_dict(), indent=2))
+    return 0
+
+
+def cmd_cache_clear(args: argparse.Namespace) -> int:
+    from repro.cache import get_cache
+
+    cache = get_cache(args.cache_dir)
+    removed = cache.clear()
+    noun = "entry" if removed == 1 else "entries"
+    print(f"removed {removed} cache {noun} from {cache.root}")
+    return 0
 
 
 def _trend_compare(args: argparse.Namespace) -> int:
@@ -592,6 +778,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=0.03,
                        help="statistical netlist scale (see DESIGN.md)")
 
+    def add_cache_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache", action="store_true",
+                       help="reuse/populate the content-addressed stage "
+                            "cache (default root: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro)")
+        p.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="stage-cache root; implies --cache")
+
     run_p = sub.add_parser("run", help="run one flow and print its summary")
     run_p.add_argument("--flow", default="macro3d", choices=sorted(_FLOWS))
     run_p.add_argument("--balanced", action="store_true",
@@ -610,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress the summary dump (bench drivers still "
                             "get --trace-out)")
+    add_cache_flags(run_p)
     common(run_p)
     run_p.set_defaults(handler=cmd_run)
 
@@ -673,6 +868,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="page title")
     dash_p.set_defaults(handler=cmd_dash)
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="persistent flow service: warm workers draining a FIFO of "
+             "scenario jobs",
+    )
+    serve_p.add_argument("--scenario", action="append", metavar="NAME",
+                         help="submit this scenario (repeatable); with no "
+                              "--scenario, names are read from stdin one "
+                              "per line")
+    serve_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                         help="warm worker-pool width (default: 2)")
+    serve_p.add_argument("--out", default="bench_out",
+                         help="artifact directory (default: bench_out)")
+    serve_p.add_argument("--events-out", metavar="PATH", default=None,
+                         help="stream live repro.obs.events/v1 JSONL")
+    serve_p.add_argument("--quiet", action="store_true",
+                         help="only print job completions and failures")
+    add_cache_flags(serve_p)
+    serve_p.set_defaults(handler=cmd_serve)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or reset the content-addressed stage cache"
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cs_p = cache_sub.add_parser("stats", help="print cache footprint JSON")
+    cs_p.add_argument("--cache-dir", metavar="PATH", default=None,
+                      help="cache root (default: $REPRO_CACHE_DIR or "
+                           "~/.cache/repro)")
+    cs_p.set_defaults(handler=cmd_cache_stats)
+    cc_p = cache_sub.add_parser(
+        "clear", help="delete every cached stage checkpoint"
+    )
+    cc_p.add_argument("--cache-dir", metavar="PATH", default=None,
+                      help="cache root (default: $REPRO_CACHE_DIR or "
+                           "~/.cache/repro)")
+    cc_p.set_defaults(handler=cmd_cache_clear)
+
     bench_p = sub.add_parser(
         "bench", help="benchmark harness: run scenarios, gate regressions"
     )
@@ -720,7 +952,39 @@ def build_parser() -> argparse.ArgumentParser:
                       help="suppress the live progress stream (progress "
                            "lines are an event-stream subscription; "
                            "--events-out still writes the file)")
+    add_cache_flags(br_p)
     br_p.set_defaults(handler=cmd_bench_run)
+
+    bs_p = bench_sub.add_parser(
+        "serve",
+        help="measure cold/warm designs-per-hour through a persistent "
+             "warm flow service",
+    )
+    bs_p.add_argument("--all", action="store_true",
+                      help="serve every scenario of the selected size")
+    bs_p.add_argument("--scenario", action="append", metavar="NAME",
+                      help="serve one named scenario (repeatable)")
+    bs_p.add_argument("--size", default="small",
+                      choices=["small", "medium", "all"],
+                      help="size tier selected by --all (default: small)")
+    bs_p.add_argument("--jobs", type=int, default=2, metavar="N",
+                      help="warm worker-pool width (default: 2)")
+    bs_p.add_argument("--repeat", type=int, default=1, metavar="K",
+                      help="warm rounds after the cold round (default: 1)")
+    bs_p.add_argument("--out", default="bench_out",
+                      help="artifact directory (default: bench_out)")
+    bs_p.add_argument("--cache-dir", metavar="PATH", default=None,
+                      help="stage-cache root shared by all rounds "
+                           "(default: a fresh temp dir, so the cold "
+                           "round is honestly cold)")
+    bs_p.add_argument("--history", metavar="PATH", default=None,
+                      help="append one serve-throughput record to this "
+                           "repro.obs.history/v1 JSONL (gated by "
+                           "`bench compare --trend`)")
+    bs_p.add_argument("--events-out", metavar="PATH", default=None,
+                      help="stream live repro.obs.events/v1 JSONL for "
+                           "all rounds")
+    bs_p.set_defaults(handler=cmd_bench_serve)
 
     bc_p = bench_sub.add_parser(
         "compare", help="gate artifacts against the committed baselines"

@@ -20,20 +20,22 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.cache import StageChain
 from repro.core.projection import MolProjection, project_mol
 from repro.core.separation import DieView, separate_dies
 from repro.flows.base import (
     FlowOptions,
     FlowResult,
-    place_design,
-    route_design,
-    signoff_design,
+    chained_cts,
+    chained_place,
+    chained_route,
+    chained_signoff,
+    chained_verify,
+    seed_tile,
     summarize_flow,
-    synthesize_clock,
-    verify_design,
 )
 from repro.floorplan.macro_placer import MacroPlacerOptions
-from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.netlist.openpiton import Tile, TileConfig
 from repro.obs import count, span
 from repro.tech.presets import hk28, hk28_macro_die
 from repro.tech.technology import Technology
@@ -55,64 +57,57 @@ def run_flow_macro3d(
     """
     logic = logic_tech or hk28()
     macro = macro_tech or hk28_macro_die()
-    if tile is None:
-        with span("build_tile", config=config.name, scale=scale):
-            tile = build_tile(config, scale=scale)
-    netlist = tile.netlist
+    chain = StageChain.begin("macro3d", logic=logic, macro=macro)
+    seed_tile(chain, config, scale, tile)
 
     # Steps 1-2: dual floorplans, scripted edits, combined BEOL.
-    with span("project_mol"):
-        projection = project_mol(tile, logic, macro, floorplan_options)
-    merged = projection.merged
-    combined = projection.combined
+    def _project(st):
+        with span("project_mol"):
+            projection = project_mol(st["tile"], logic, macro, floorplan_options)
+        st["projection"] = projection
+        st["combined"] = projection.combined
+        st["merged"] = projection.merged
+
+    chain.run("project_mol", _project, floorplan_options=floorplan_options)
 
     # Step 3: one standard 2D P&R pass on the projected design.
     with span("place"):
-        placement, legal, _ports = place_design(
-            netlist, combined, logic.row_height, options
-        )
+        chained_place(chain, fp_key="combined", row_height=logic.row_height,
+                      options=options)
     with span("route"):
-        grid, routed, assignment = route_design(
-            netlist,
-            placement,
-            merged.stack,
-            combined,
-            options,
-            merged=merged,
-            technology=logic,
-        )
-    clock_tree = synthesize_clock(
-        netlist,
-        placement,
-        combined,
-        merged.stack,
-        tile.library,
-        options,
-        macro_die_instances=projection.macro_die_instances,
-    )
+        chained_route(chain, placement_key="placement", fp_key="combined",
+                      stack_fn=lambda st: st["merged"].stack, options=options,
+                      merged_fn=lambda st: st["merged"], technology=logic)
+    chained_cts(chain, placement_key="placement", fp_key="combined",
+                stack_fn=lambda st: st["merged"].stack, options=options,
+                macro_die_fn=lambda st: st["projection"].macro_die_instances)
     with span("signoff"):
-        signoff = signoff_design(
-            netlist, tile.library, routed, assignment, logic, clock_tree, options
-        )
+        chained_signoff(chain, technology=logic, options=options)
 
     # Step 4: die separation (also validates the layer partition).
-    with span("separate_dies"):
-        dies: Dict[str, DieView] = separate_dies(projection, assignment)
-        count("separated_dies", len(dies))
+    def _separate(st):
+        with span("separate_dies"):
+            dies: Dict[str, DieView] = separate_dies(
+                st["projection"], st["assignment"]
+            )
+            count("separated_dies", len(dies))
+        st["dies"] = dies
+
+    chain.run("separate_dies", _separate)
 
     # The flow's thesis, measured: the single-pass result verifies
     # clean against the full 3D rules with no fix-up step in between.
-    drc = verify_design(
-        netlist,
-        placement,
-        combined,
-        grid,
-        routed,
-        assignment,
-        flow="macro3d",
-        design=netlist.name,
-    )
+    chained_verify(chain, placement_key="placement", fp_key="combined",
+                   flow="macro3d")
 
+    st = chain.state
+    netlist = st["tile"].netlist
+    projection: MolProjection = st["projection"]
+    combined, placement = st["combined"], st["placement"]
+    grid, routed, assignment = st["grid"], st["routed"], st["assignment"]
+    clock_tree, signoff, dies, drc = (
+        st["clock_tree"], st["signoff"], st["dies"], st["drc"]
+    )
     flow_name = (
         "Macro-3D"
         if macro.stack.num_routing_layers == logic.stack.num_routing_layers
@@ -156,6 +151,6 @@ def run_flow_macro3d(
         power=signoff.power,
         sizing=signoff.sizing,
         summary=summary,
-        legalization=legal,
+        legalization=st["legalization"],
         drc=drc,
     )

@@ -17,15 +17,22 @@ import math
 from dataclasses import replace as dc_replace
 from typing import Optional
 
+from repro.cache import StageChain
 from repro.extract.rc import extract_design
-from repro.flows.base import FlowOptions, FlowResult, place_design, route_design
+from repro.flows.base import (
+    FlowOptions,
+    FlowResult,
+    chained_place,
+    chained_route,
+    seed_tile,
+)
 from repro.flows.pseudo_common import finalize_two_die, pseudo_floorplan
 from repro.floorplan.macro_placer import (
     MacroPlacerOptions,
     balanced_macro_split,
     place_macros_mol,
 )
-from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.netlist.openpiton import Tile, TileConfig
 from repro.obs import span
 from repro.tech.layers import CutLayer, Layer, LayerStack, RoutingLayer
 from repro.tech.presets import hk28, hk28_macro_die
@@ -71,62 +78,74 @@ def run_flow_c2d(
     """Run the C2D flow on one tile configuration."""
     logic = logic_tech or hk28()
     macro = macro_tech or hk28_macro_die()
-    if tile is None:
-        with span("build_tile", config=config.name, scale=scale):
-            tile = build_tile(config, scale=scale)
-    netlist = tile.netlist
+    chain = StageChain.begin("c2d", logic=logic, macro=macro)
+    seed_tile(chain, config, scale, tile)
+    flow_name = "BF C2D" if balanced else "MoL C2D"
 
-    with span("floorplan", balanced=balanced):
-        if balanced:
-            die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
-            flow_name = "BF C2D"
-        else:
-            die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
-            flow_name = "MoL C2D"
+    def _floorplan(st):
+        tile_ = st["tile"]
+        with span("floorplan", balanced=balanced):
+            if balanced:
+                die0_fp, die1_fp = balanced_macro_split(tile_, floorplan_options)
+            else:
+                die1_fp, die0_fp = place_macros_mol(tile_, floorplan_options)
+        st["die0_fp"], st["die1_fp"] = die0_fp, die1_fp
+        st["pseudo_fp"] = pseudo_floorplan(
+            f"{tile_.netlist.name}_c2d_pseudo",
+            die0_fp.outline,
+            die0_fp,
+            die1_fp,
+            die0_fp.utilization,
+            transform=INFLATE,
+        )
+
+    chain.run("floorplan", _floorplan, balanced=balanced,
+              floorplan_options=floorplan_options)
 
     # -- stage 1: the inflated pseudo design ------------------------------------
-    pseudo_fp = pseudo_floorplan(
-        f"{netlist.name}_c2d_pseudo",
-        die0_fp.outline,
-        die0_fp,
-        die1_fp,
-        die0_fp.utilization,
-        transform=INFLATE,
-    )
     with span("pseudo_place"):
-        pseudo_placement, _legal, _ports = place_design(
-            netlist, pseudo_fp, logic.row_height, options
+        chained_place(
+            chain, fp_key="pseudo_fp", row_height=logic.row_height,
+            options=options, prefix="pseudo_",
+            out_placement="pseudo_placement", out_legal=None,
+            out_ports="_pseudo_ports", inflate=INFLATE,
         )
     pseudo_stack = scaled_parasitics_stack(logic.stack, 1.0 / INFLATE)
     with span("pseudo_route"):
-        _grid, pseudo_routed, pseudo_assignment = route_design(
-            netlist, pseudo_placement, pseudo_stack, pseudo_fp, options,
-            obstruction_fraction=0.5,
-        )
-    with span("pseudo_extract"):
-        believed = extract_design(
-            pseudo_routed, pseudo_assignment, logic.corners.slowest
+        chained_route(
+            chain, placement_key="pseudo_placement", fp_key="pseudo_fp",
+            stack_fn=lambda st: pseudo_stack, options=options,
+            prefix="pseudo_", obstruction_fraction=0.5,
+            out_grid="_pseudo_grid", out_routed="pseudo_routed",
+            out_assign="pseudo_assignment", keep_grid=False,
         )
 
-    # Linear mapping back to the final coordinate space.
-    mapped = pseudo_placement.copy()
-    for inst in netlist.instances:
-        if mapped.movable[inst.id]:
-            mapped.x[inst.id] = pseudo_placement.x[inst.id] / INFLATE
-            mapped.y[inst.id] = pseudo_placement.y[inst.id] / INFLATE
+    def _pseudo_extract(st):
+        with span("pseudo_extract"):
+            st["believed"] = extract_design(
+                st["pseudo_routed"], st["pseudo_assignment"],
+                logic.corners.slowest,
+            )
+        # Linear mapping back to the final coordinate space.
+        netlist = st["tile"].netlist
+        mapped = st["pseudo_placement"].copy()
+        for inst in netlist.instances:
+            if mapped.movable[inst.id]:
+                mapped.x[inst.id] = st["pseudo_placement"].x[inst.id] / INFLATE
+                mapped.y[inst.id] = st["pseudo_placement"].y[inst.id] / INFLATE
+        st["mapped"] = mapped
+
+    chain.run("pseudo_extract", _pseudo_extract)
 
     # -- stage 2: shared tail, with C2D's post-tier optimization ----------------
     final = finalize_two_die(
+        chain,
         flow_name,
-        tile,
         logic,
         macro,
-        die0_fp,
-        die1_fp,
-        mapped,
-        believed,
         options,
         partition_mode=partition_mode,
         post_opt=True,
+        placement_key="mapped",
     )
     return final.result

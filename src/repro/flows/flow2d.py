@@ -9,18 +9,20 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.cache import StageChain
 from repro.flows.base import (
     FlowOptions,
     FlowResult,
-    place_design,
-    route_design,
-    signoff_design,
+    chained_cts,
+    chained_place,
+    chained_route,
+    chained_signoff,
+    chained_verify,
+    seed_tile,
     summarize_flow,
-    synthesize_clock,
-    verify_design,
 )
 from repro.floorplan.macro_placer import MacroPlacerOptions, place_macros_2d
-from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.netlist.openpiton import Tile, TileConfig
 from repro.obs import span
 from repro.tech.presets import hk28
 from repro.tech.technology import Technology
@@ -39,40 +41,42 @@ def run_flow_2d(
     A fresh tile is built unless one is supplied; flows mutate instance
     masters during optimization, so a tile must not be shared between
     flow runs.
+
+    Stage boundaries are walked through a :class:`StageChain`: with an
+    active cache every stage is a content-addressed checkpoint, without
+    one the chain is inert and this is the same straight-line flow as
+    ever.
     """
     tech = technology or hk28()
-    if tile is None:
-        with span("build_tile", config=config.name, scale=scale):
-            tile = build_tile(config, scale=scale)
-    netlist = tile.netlist
+    # Only run-wide facts enter the root key; per-stage knobs (floorplan
+    # options, placer, router, sizing) are scoped to their own stage so
+    # an edited knob reuses every checkpoint upstream of it.
+    chain = StageChain.begin("2d", technology=tech)
+    seed_tile(chain, config, scale, tile)
 
-    with span("floorplan"):
-        floorplan = place_macros_2d(tile, floorplan_options)
+    def _floorplan(st):
+        with span("floorplan"):
+            st["floorplan"] = place_macros_2d(st["tile"], floorplan_options)
+
+    chain.run("floorplan", _floorplan, floorplan_options=floorplan_options)
     with span("place"):
-        placement, legal, _ports = place_design(
-            netlist, floorplan, tech.row_height, options
-        )
+        chained_place(chain, fp_key="floorplan", row_height=tech.row_height,
+                      options=options)
     with span("route"):
-        grid, routed, assignment = route_design(
-            netlist, placement, tech.stack, floorplan, options
-        )
-    clock_tree = synthesize_clock(
-        netlist, placement, floorplan, tech.stack, tile.library, options
-    )
+        chained_route(chain, placement_key="placement", fp_key="floorplan",
+                      stack_fn=lambda st: tech.stack, options=options)
+    chained_cts(chain, placement_key="placement", fp_key="floorplan",
+                stack_fn=lambda st: tech.stack, options=options)
     with span("signoff"):
-        signoff = signoff_design(
-            netlist, tile.library, routed, assignment, tech, clock_tree, options
-        )
-    drc = verify_design(
-        netlist,
-        placement,
-        floorplan,
-        grid,
-        routed,
-        assignment,
-        flow="2d",
-        design=netlist.name,
-    )
+        chained_signoff(chain, technology=tech, options=options)
+    chained_verify(chain, placement_key="placement", fp_key="floorplan",
+                   flow="2d")
+
+    st = chain.state
+    netlist = st["tile"].netlist
+    floorplan, placement = st["floorplan"], st["placement"]
+    grid, routed, assignment = st["grid"], st["routed"], st["assignment"]
+    clock_tree, signoff, drc = st["clock_tree"], st["signoff"], st["drc"]
     summary = summarize_flow(
         flow="2D",
         design=netlist.name,
@@ -102,6 +106,6 @@ def run_flow_2d(
         power=signoff.power,
         sizing=signoff.sizing,
         summary=summary,
-        legalization=legal,
+        legalization=st["legalization"],
         drc=drc,
     )

@@ -12,6 +12,12 @@ the real two-die stack through the same tail:
    notes cannot be co-optimized with placement),
 5. sign-off with the optimization choices made on the pseudo design
    (frozen for S2D; re-optimized once for C2D).
+
+The tail walks a :class:`~repro.cache.StageChain`, so with an active
+cache each step is a content-addressed checkpoint (``tier_partition``,
+``overlap_fix``, ``f2f_plan``, ``reroute_*``, ``cts``, ``extract``,
+``sta``, ``verify``) and an edited knob resumes from the deepest
+reusable one.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import Dict, Optional, Set, Tuple
 
 from dataclasses import replace as dc_replace
 
+from repro.cache import StageChain
 from repro.cells.macro import Macro
 from repro.cells.stdcell import StdCell
 from repro.drc.connectivity import count_die_crossing_opens
@@ -30,11 +37,11 @@ from repro.extract.rc import DesignParasitics
 from repro.flows.base import (
     FlowOptions,
     FlowResult,
-    route_design,
-    signoff_design,
+    chained_cts,
+    chained_route,
+    chained_signoff,
+    chained_verify,
     summarize_flow,
-    synthesize_clock,
-    verify_design,
 )
 from repro.floorplan.floorplan import Floorplan
 from repro.floorplan.pins import place_ports
@@ -101,157 +108,186 @@ class TwoDieFinal:
 
 
 def finalize_two_die(
+    chain: StageChain,
     flow_name: str,
-    tile: Tile,
     logic_tech: Technology,
     macro_tech: Technology,
-    die0_fp: Floorplan,
-    die1_fp: Floorplan,
-    pseudo_placement: Placement,
-    believed: DesignParasitics,
     options: FlowOptions,
     partition_mode: str = "area",
     post_opt: bool = False,
+    placement_key: str = "pseudo_placement",
 ) -> TwoDieFinal:
-    """Run the shared two-die tail of the S2D/C2D flows."""
-    netlist = tile.netlist
+    """Run the shared two-die tail of the S2D/C2D flows.
 
-    # The combined floorplan knows every macro's final location — pin
-    # lookups and routing obstructions read from it.
-    combined = Floorplan(
-        f"{netlist.name}_{flow_name}_final",
-        die0_fp.outline,
-        die0_fp.utilization,
-    )
-    combined.macro_halo = die0_fp.macro_halo
-    for source in (die0_fp, die1_fp):
-        for macro_name, rect in source.macro_placements.items():
-            combined.place_macro(macro_name, rect)
+    Reads the pseudo result from the chain state: ``die0_fp``/``die1_fp``
+    (the per-die floorplans), ``believed`` (the pseudo extraction) and
+    ``placement_key`` (the pseudo placement in final coordinates).
+    """
 
-    macro_assignment: Dict[str, int] = {}
-    for macro_name in die0_fp.macro_placements:
-        macro_assignment[macro_name] = 0
-    for macro_name in die1_fp.macro_placements:
-        macro_assignment[macro_name] = 1
+    def _partition(st):
+        netlist = st["tile"].netlist
+        die0_fp, die1_fp = st["die0_fp"], st["die1_fp"]
+        pseudo_placement = st[placement_key]
 
-    with span("tier_partition", mode=partition_mode):
-        partition = tier_partition(
-            netlist,
-            pseudo_placement,
-            die0_fp,
-            die1_fp,
-            macro_assignment,
-            mode=partition_mode,
+        # The combined floorplan knows every macro's final location — pin
+        # lookups and routing obstructions read from it.
+        combined = Floorplan(
+            f"{netlist.name}_{flow_name}_final",
+            die0_fp.outline,
+            die0_fp.utilization,
         )
-        count("cut_nets", partition.cut_nets)
+        combined.macro_halo = die0_fp.macro_halo
+        for source in (die0_fp, die1_fp):
+            for macro_name, rect in source.macro_placements.items():
+                combined.place_macro(macro_name, rect)
 
-    # Final placement object in the true coordinate space.
-    ports = place_ports(netlist, combined.outline)
-    final = Placement(netlist, combined, ports)
-    for inst in netlist.instances:
-        if final.movable[inst.id]:
-            final.x[inst.id] = min(
-                max(pseudo_placement.x[inst.id], combined.outline.xlo),
-                combined.outline.xhi,
+        macro_assignment: Dict[str, int] = {}
+        for macro_name in die0_fp.macro_placements:
+            macro_assignment[macro_name] = 0
+        for macro_name in die1_fp.macro_placements:
+            macro_assignment[macro_name] = 1
+
+        with span("tier_partition", mode=partition_mode):
+            partition = tier_partition(
+                netlist,
+                pseudo_placement,
+                die0_fp,
+                die1_fp,
+                macro_assignment,
+                mode=partition_mode,
             )
-            final.y[inst.id] = min(
-                max(pseudo_placement.y[inst.id], combined.outline.ylo),
-                combined.outline.yhi,
-            )
+            count("cut_nets", partition.cut_nets)
 
-    # Per-die legalization: each die's cells against that die's macros.
-    die_cells: Dict[int, Set[str]] = {0: set(), 1: set()}
-    for inst in netlist.std_cells():
-        die_cells[partition.assignment.get(inst.name, 0)].add(inst.name)
-
-    # Snapshot the pre-fix-up state: after tier assignment but before
-    # overlap fixing and F2F planning, this is where the 2D result is
-    # *not* valid in 3D — cells overlap macros on their die, and every
-    # cut net is still electrically open.  Audited below once the final
-    # grid exists; the violation counts feed the EXPERIMENTS table.
-    prefix_snapshot = final.copy()
-    prefix_3d_opens = count_die_crossing_opens(netlist, partition.assignment)
-
-    forced = 0
-    displacement_total = 0.0
-    legal_results = []
-    with span("overlap_fix"):
-        for die, die_fp in ((0, die0_fp), (1, die1_fp)):
-            view = final.copy()
-            view.floorplan = die_fp
-            for inst in netlist.instances:
-                view.movable[inst.id] = (
-                    not inst.is_macro and inst.name in die_cells[die]
+        # Final placement object in the true coordinate space.
+        ports = place_ports(netlist, combined.outline)
+        final = Placement(netlist, combined, ports)
+        for inst in netlist.instances:
+            if final.movable[inst.id]:
+                final.x[inst.id] = min(
+                    max(pseudo_placement.x[inst.id], combined.outline.xlo),
+                    combined.outline.xhi,
                 )
-            legal = legalize(view, logic_tech.row_height)
-            legal_results.append(legal)
-            forced += legal.forced
-            count("legalize_forced", legal.forced)
-            count("legalize_failures", legal.failures)
-            for inst in netlist.std_cells():
-                if inst.name in die_cells[die]:
-                    final.x[inst.id] = legal.placement.x[inst.id]
-                    final.y[inst.id] = legal.placement.y[inst.id]
-            displacement_total += float(legal.displacement.sum())
-            observe("legalize_displacement_um", float(legal.displacement.sum()))
+                final.y[inst.id] = min(
+                    max(pseudo_placement.y[inst.id], combined.outline.ylo),
+                    combined.outline.yhi,
+                )
+
+        # Per-die legalization targets: each die's cells against that
+        # die's macros.
+        die_cells: Dict[int, Set[str]] = {0: set(), 1: set()}
+        for inst in netlist.std_cells():
+            die_cells[partition.assignment.get(inst.name, 0)].add(inst.name)
+
+        # Snapshot the pre-fix-up state: after tier assignment but before
+        # overlap fixing and F2F planning, this is where the 2D result is
+        # *not* valid in 3D — cells overlap macros on their die, and every
+        # cut net is still electrically open.  Audited in the verify stage
+        # once the final grid exists; the counts feed the EXPERIMENTS table.
+        st["combined"] = combined
+        st["partition"] = partition
+        st["final"] = final
+        st["die_cells"] = die_cells
+        st["_prefix_snapshot"] = final.copy()
+        st["_prefix_3d_opens"] = count_die_crossing_opens(
+            netlist, partition.assignment
+        )
+
+    chain.run("tier_partition", _partition, mode=partition_mode)
+
+    def _overlap_fix(st):
+        netlist = st["tile"].netlist
+        final, die_cells = st["final"], st["die_cells"]
+        forced = 0
+        displacement_total = 0.0
+        legal_results = []
+        with span("overlap_fix"):
+            for die, die_fp in ((0, st["die0_fp"]), (1, st["die1_fp"])):
+                view = final.copy()
+                view.floorplan = die_fp
+                for inst in netlist.instances:
+                    view.movable[inst.id] = (
+                        not inst.is_macro and inst.name in die_cells[die]
+                    )
+                legal = legalize(view, logic_tech.row_height)
+                legal_results.append(legal)
+                forced += legal.forced
+                count("legalize_forced", legal.forced)
+                count("legalize_failures", legal.failures)
+                for inst in netlist.std_cells():
+                    if inst.name in die_cells[die]:
+                        final.x[inst.id] = legal.placement.x[inst.id]
+                        final.y[inst.id] = legal.placement.y[inst.id]
+                displacement_total += float(legal.displacement.sum())
+                observe(
+                    "legalize_displacement_um", float(legal.displacement.sum())
+                )
+        st["_forced"] = forced
+        st["_displacement_total"] = displacement_total
+        st["legalization"] = legal_results[0]
+
+    chain.run("overlap_fix", _overlap_fix)
 
     # F2F via planning (the flows' own estimate of the bump demand).
-    with span("f2f_plan"):
-        f2f_plan = plan_f2f_vias(netlist, final, partition, logic_tech.f2f)
-        count("planner_bumps", f2f_plan.total_bumps)
+    def _f2f_plan(st):
+        with span("f2f_plan"):
+            f2f_plan = plan_f2f_vias(
+                st["tile"].netlist, st["final"], st["partition"], logic_tech.f2f
+            )
+            count("planner_bumps", f2f_plan.total_bumps)
+        st["f2f_plan"] = f2f_plan
 
-    # The second routing, on the true merged BEOL.
-    edit_top_die_macros(tile, set(die1_fp.macro_placements))
-    merged = merge_beol(logic_tech.stack, macro_tech.stack, logic_tech.f2f)
-    with span("reroute"):
-        grid, routed, assignment = route_design(
-            netlist,
-            final,
-            merged.stack,
-            combined,
-            options,
-            merged=merged,
-            technology=logic_tech,
-            die1_cells=die_cells[1],
+    chain.run("f2f_plan", _f2f_plan)
+
+    # The second routing, on the true merged BEOL.  The layer edit and
+    # BEOL merge replay inside the route stage on a cold resume.
+    def _edit_and_merge(st):
+        edit_top_die_macros(st["tile"], set(st["die1_fp"].macro_placements))
+        st["merged"] = merge_beol(
+            logic_tech.stack, macro_tech.stack, logic_tech.f2f
         )
-    macro_die_instances = die_cells[1] | set(die1_fp.macro_placements)
-    clock_tree = synthesize_clock(
-        netlist,
-        final,
-        combined,
-        merged.stack,
-        tile.library,
-        options,
-        macro_die_instances=macro_die_instances,
+
+    with span("reroute"):
+        chained_route(
+            chain, placement_key="final", fp_key="combined",
+            stack_fn=lambda st: st["merged"].stack, options=options,
+            prefix="reroute_", merged_fn=lambda st: st["merged"],
+            technology=logic_tech, die1_fn=lambda st: st["die_cells"][1],
+            prepare=_edit_and_merge,
+        )
+    chained_cts(
+        chain, placement_key="final", fp_key="combined",
+        stack_fn=lambda st: st["merged"].stack, options=options,
+        macro_die_fn=lambda st: (
+            st["die_cells"][1] | set(st["die1_fp"].macro_placements)
+        ),
     )
     with span("signoff"):
-        signoff = signoff_design(
-            netlist,
-            tile.library,
-            routed,
-            assignment,
-            logic_tech,
-            clock_tree,
-            options,
-            believed=believed,
-            post_opt=post_opt,
+        chained_signoff(
+            chain, technology=logic_tech, options=options,
+            believed_key="believed", post_opt=post_opt,
         )
-    die1_macros = set(die1_fp.macro_placements)
-    drc = verify_design(
-        netlist,
-        final,
-        combined,
-        grid,
-        routed,
-        assignment,
-        die1_cells=die_cells[1],
-        die1_macros=die1_macros,
-        flow=flow_name,
-        design=netlist.name,
+
+    def _prefix_audit(st):
+        st["_prefix_placement"] = check_placement(
+            st["tile"].netlist, st["_prefix_snapshot"], st["combined"],
+            st["grid"], st["die_cells"][1],
+            set(st["die1_fp"].macro_placements),
+        )
+
+    chained_verify(
+        chain, placement_key="final", fp_key="combined", flow=flow_name,
+        die1_cells_fn=lambda st: st["die_cells"][1],
+        die1_macros_fn=lambda st: set(st["die1_fp"].macro_placements),
+        extra=_prefix_audit,
     )
-    prefix_placement = check_placement(
-        netlist, prefix_snapshot, combined, grid, die_cells[1], die1_macros
-    )
+
+    st = chain.state
+    netlist = st["tile"].netlist
+    die0_fp, die1_fp, combined = st["die0_fp"], st["die1_fp"], st["combined"]
+    partition, final, f2f_plan = st["partition"], st["final"], st["f2f_plan"]
+    grid, routed, assignment = st["grid"], st["routed"], st["assignment"]
+    clock_tree, signoff, drc = st["clock_tree"], st["signoff"], st["drc"]
+    forced = st["_forced"]
     summary = summarize_flow(
         flow=flow_name,
         design=netlist.name,
@@ -273,9 +309,11 @@ def finalize_two_die(
     summary.extras["planner_bumps"] = float(f2f_plan.total_bumps)
     summary.extras["cut_nets"] = float(partition.cut_nets)
     summary.extras["forced_cells"] = float(forced)
-    summary.extras["legalize_displacement_um"] = displacement_total
-    summary.extras["prefix_placement_violations"] = float(len(prefix_placement))
-    summary.extras["prefix_3d_opens"] = float(prefix_3d_opens)
+    summary.extras["legalize_displacement_um"] = st["_displacement_total"]
+    summary.extras["prefix_placement_violations"] = float(
+        len(st["_prefix_placement"])
+    )
+    summary.extras["prefix_3d_opens"] = float(st["_prefix_3d_opens"])
     result = FlowResult(
         flow=flow_name,
         design=netlist.name,
@@ -290,7 +328,7 @@ def finalize_two_die(
         power=signoff.power,
         sizing=signoff.sizing,
         summary=summary,
-        legalization=legal_results[0],
+        legalization=st["legalization"],
         drc=drc,
     )
     return TwoDieFinal(

@@ -25,8 +25,15 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.cache import StageChain
 from repro.extract.rc import extract_design
-from repro.flows.base import FlowOptions, FlowResult, place_design, route_design
+from repro.flows.base import (
+    FlowOptions,
+    FlowResult,
+    chained_place,
+    chained_route,
+    seed_tile,
+)
 from repro.flows.pseudo_common import (
     finalize_two_die,
     pseudo_floorplan,
@@ -38,7 +45,7 @@ from repro.floorplan.macro_placer import (
     balanced_macro_split,
     place_macros_mol,
 )
-from repro.netlist.openpiton import Tile, TileConfig, build_tile
+from repro.netlist.openpiton import Tile, TileConfig
 from repro.obs import span
 from repro.tech.presets import hk28, hk28_macro_die
 from repro.tech.technology import Technology
@@ -61,58 +68,69 @@ def run_flow_s2d(
     """Run the S2D flow; ``balanced`` selects the BF floorplan variant."""
     logic = logic_tech or hk28()
     macro = macro_tech or hk28_macro_die()
-    if tile is None:
-        with span("build_tile", config=config.name, scale=scale):
-            tile = build_tile(config, scale=scale)
-    netlist = tile.netlist
+    chain = StageChain.begin("s2d", logic=logic, macro=macro)
+    seed_tile(chain, config, scale, tile)
+    flow_name = "BF S2D" if balanced else "MoL S2D"
 
-    with span("floorplan", balanced=balanced):
-        if balanced:
-            die0_fp, die1_fp = balanced_macro_split(tile, floorplan_options)
-            flow_name = "BF S2D"
-        else:
-            die1_fp, die0_fp = place_macros_mol(tile, floorplan_options)
-            flow_name = "MoL S2D"
+    def _floorplan(st):
+        tile_ = st["tile"]
+        with span("floorplan", balanced=balanced):
+            if balanced:
+                die0_fp, die1_fp = balanced_macro_split(tile_, floorplan_options)
+            else:
+                die1_fp, die0_fp = place_macros_mol(tile_, floorplan_options)
+        st["die0_fp"], st["die1_fp"] = die0_fp, die1_fp
+        st["pseudo_fp"] = pseudo_floorplan(
+            f"{tile_.netlist.name}_s2d_pseudo",
+            die0_fp.outline,
+            die0_fp,
+            die1_fp,
+            die0_fp.utilization,
+        )
+
+    chain.run("floorplan", _floorplan, balanced=balanced,
+              floorplan_options=floorplan_options)
 
     # -- stage 1: the shrunk pseudo design ------------------------------------
-    pseudo_fp = pseudo_floorplan(
-        f"{netlist.name}_s2d_pseudo",
-        die0_fp.outline,
-        die0_fp,
-        die1_fp,
-        die0_fp.utilization,
-    )
-    originals = shrink_std_cells(netlist, SHRINK)
+    def _shrink(st):
+        st["_originals"] = shrink_std_cells(st["tile"].netlist, SHRINK)
+
     with span("pseudo_place"):
-        pseudo_placement, _legal, _ports = place_design(
-            netlist, pseudo_fp, logic.row_height * SHRINK, options
+        chained_place(
+            chain, fp_key="pseudo_fp", row_height=logic.row_height * SHRINK,
+            options=options, prefix="pseudo_",
+            out_placement="pseudo_placement", out_legal=None,
+            out_ports="_pseudo_ports", prepare=_shrink, shrink=SHRINK,
         )
     # Pseudo routing sees one die's BEOL; macros obstruct it at 50 %
     # (each macro exists in only one die of the future stack).
     with span("pseudo_route"):
-        _grid, pseudo_routed, pseudo_assignment = route_design(
-            netlist, pseudo_placement, logic.stack, pseudo_fp, options,
-            obstruction_fraction=0.5,
+        chained_route(
+            chain, placement_key="pseudo_placement", fp_key="pseudo_fp",
+            stack_fn=lambda st: logic.stack, options=options,
+            prefix="pseudo_", obstruction_fraction=0.5,
+            out_grid="_pseudo_grid", out_routed="pseudo_routed",
+            out_assign="pseudo_assignment", keep_grid=False,
         )
-    with span("pseudo_extract"):
-        believed = extract_design(
-            pseudo_routed, pseudo_assignment, logic.corners.slowest
-        )
-    restore_std_cells(netlist, originals)
+
+    def _pseudo_extract(st):
+        with span("pseudo_extract"):
+            st["believed"] = extract_design(
+                st["pseudo_routed"], st["pseudo_assignment"],
+                logic.corners.slowest,
+            )
+        restore_std_cells(st["tile"].netlist, st.pop("_originals"))
+
+    chain.run("pseudo_extract", _pseudo_extract)
 
     # -- stage 2: partition, fix overlaps, plan bumps, re-route, sign off ------
     final = finalize_two_die(
+        chain,
         flow_name,
-        tile,
         logic,
         macro,
-        die0_fp,
-        die1_fp,
-        pseudo_placement,
-        believed,
         options,
         partition_mode=partition_mode,
         post_opt=False,
     )
     return final.result
-

@@ -80,6 +80,17 @@ class NetGeometryIndex:
         self._hpwl_cache: Dict[bool, Tuple[np.ndarray, np.ndarray]] = {}
         self._terms_py: Optional[List[List[Tuple[int, float, float, float, float]]]] = None
 
+    # -- pickling --------------------------------------------------------------------
+
+    def __getstate__(self):
+        # The Python-list term mirror and the hpwl gather cache are
+        # derived, rebuild deterministically, and dominate the pickled
+        # size of a stage checkpoint — drop both.
+        state = self.__dict__.copy()
+        state["_hpwl_cache"] = {}
+        state["_terms_py"] = None
+        return state
+
     # -- construction ----------------------------------------------------------------
 
     @staticmethod
@@ -278,3 +289,68 @@ class NetGeometryIndex:
             [Point(pxl[t], pyl[t]) for t in range(starts[k], starts[k + 1])]
             for k in net_ids
         ]
+
+
+# -- cross-stage sharing -----------------------------------------------------------------
+
+
+def _geometry_key(
+    netlist: Netlist,
+    macro_placements: Dict[str, Rect],
+    port_locations: Dict[str, Point],
+) -> Tuple:
+    """A value key over everything :meth:`NetGeometryIndex.build` reads.
+
+    The index content depends on the netlist's term structure (covered
+    by keying the memo *on the netlist object*), the placed-macro
+    rects, the port map, and — for macros the floorplan does not place —
+    the master dimensions that feed the offset arithmetic.  Standard
+    cell masters never enter the index (center terms), which is why a
+    shrunk-pseudo S2D index is bit-identical to the final one.
+    """
+    macro_items = tuple(sorted(
+        (name, rect.xlo, rect.ylo, rect.xhi, rect.yhi)
+        for name, rect in macro_placements.items()
+    ))
+    port_items = tuple(sorted(
+        (name, point.x, point.y) for name, point in port_locations.items()
+    ))
+    unplaced = tuple(
+        (inst.name, inst.master.width, inst.master.height)
+        for inst in netlist.instances
+        if isinstance(inst.master, Macro)
+        and inst.name not in macro_placements
+    )
+    return (macro_items, port_items, unplaced)
+
+
+def shared_geometry(
+    netlist: Netlist,
+    macro_placements: Dict[str, Rect],
+    port_locations: Dict[str, Point],
+) -> NetGeometryIndex:
+    """Build-or-reuse one :class:`NetGeometryIndex` per design geometry.
+
+    A flow run used to rebuild the index for every fresh ``Placement``
+    over the same geometry — most visibly the S2D tail, whose final
+    placement has value-identical macro rects and ports to the pseudo
+    one.  The memo lives on the netlist (``_geom_memo``), so it travels
+    with the netlist through stage-cache checkpoints and dies with it.
+
+    Reuses count an ``index_reuse`` obs counter; rebuilds still run
+    under the existing ``index_build`` span, so avoided rebuilds are
+    visible as a drop in that span's occurrences.
+    """
+    memo: Optional[Dict[Tuple, NetGeometryIndex]]
+    memo = getattr(netlist, "_geom_memo", None)
+    if memo is None:
+        memo = {}
+        netlist._geom_memo = memo
+    key = _geometry_key(netlist, macro_placements, port_locations)
+    index = memo.get(key)
+    if index is not None:
+        count("index_reuse", 1)
+        return index
+    index = NetGeometryIndex.build(netlist, macro_placements, port_locations)
+    memo[key] = index
+    return index

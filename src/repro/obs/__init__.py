@@ -41,7 +41,9 @@ from repro.obs.metrics import (
     MetricsRegistry,
     count,
     gauge,
+    journaling,
     observe,
+    replay_journal,
 )
 from repro.obs.report import (
     FLOWTRACE_SCHEMA,
@@ -89,10 +91,12 @@ __all__ = [
     "count",
     "format_trace",
     "gauge",
+    "journaling",
     "load_history",
     "load_trace",
     "mark",
     "observe",
+    "replay_journal",
     "profile_call",
     "read_events",
     "record_from_artifact",

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import math
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import trace as _trace
 
@@ -132,14 +133,22 @@ class MetricsRegistry:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, HistogramStats] = {}
+        #: When set (see :func:`journaling`), every mutation is also
+        #: appended here as ``(op, name, value)`` so a cached stage can
+        #: replay its exact metric footprint on a cache hit.
+        self._journal: Optional[List[Tuple[str, str, float]]] = None
 
     def count(self, name: str, value: float = 1.0) -> None:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0.0) + value
+            if self._journal is not None:
+                self._journal.append(("count", name, value))
 
     def gauge(self, name: str, value: float) -> None:
         with self._lock:
             self.gauges[name] = value
+            if self._journal is not None:
+                self._journal.append(("gauge", name, value))
 
     def counters_snapshot(self) -> Dict[str, float]:
         """A consistent copy of the counters (for heartbeat deltas)."""
@@ -153,6 +162,8 @@ class MetricsRegistry:
                 stats = HistogramStats()
                 self.histograms[name] = stats
             stats.add(value)
+            if self._journal is not None:
+                self._journal.append(("observe", name, value))
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -184,3 +195,59 @@ def observe(name: str, value: float) -> None:
     recorder = _trace._ACTIVE
     if recorder is not None:
         recorder.metrics.observe(name, value)
+
+
+# -- metric journals (cache replay) --------------------------------------------------
+
+
+@contextmanager
+def journaling() -> Iterator[List[Tuple[str, str, float]]]:
+    """Record every count/gauge/observe made inside the block.
+
+    Yields the journal — an ordered ``(op, name, value)`` list that
+    :func:`replay_journal` can apply later to reproduce the exact same
+    registry state (same float accumulation order, same histogram
+    decimation).  The stage cache stores one journal per cached stage so
+    a cache *hit* leaves the recorder byte-identical to a cold compute.
+
+    No active recorder → yields a throwaway list (nothing to journal).
+    Nested blocks each capture their own journal; the outer one resumes
+    afterwards.
+    """
+    recorder = _trace._ACTIVE
+    journal: List[Tuple[str, str, float]] = []
+    if recorder is None:
+        yield journal
+        return
+    registry = recorder.metrics
+    with registry._lock:
+        previous = registry._journal
+        registry._journal = journal
+    try:
+        yield journal
+    finally:
+        with registry._lock:
+            registry._journal = previous
+            if previous is not None:
+                # A nested stage's metrics are part of the outer stage's
+                # footprint too (outer replay must reproduce them).
+                previous.extend(journal)
+
+
+def replay_journal(journal: Sequence[Sequence[Any]]) -> None:
+    """Re-apply a journal captured by :func:`journaling`.
+
+    Ops run in recorded order against the active recorder so counter
+    sums, gauge last-writes, and histogram sample retention all land
+    bit-identical to the original compute.  No-op when tracing is
+    disabled.
+    """
+    for op, name, value in journal:
+        if op == "count":
+            count(name, value)
+        elif op == "gauge":
+            gauge(name, value)
+        elif op == "observe":
+            observe(name, value)
+        else:  # pragma: no cover - corrupt sidecar
+            raise ValueError(f"unknown journal op {op!r}")

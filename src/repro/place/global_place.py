@@ -31,7 +31,7 @@ from repro.cells.macro import Macro
 from repro.floorplan.floorplan import Floorplan
 from repro.geom import Point, Rect
 from repro.netlist.core import Instance, Net, Netlist, Port
-from repro.netlist.index import NetGeometryIndex
+from repro.netlist.index import NetGeometryIndex, shared_geometry
 from repro.obs import active_recorder, count, gauge
 from repro.place.capacity import CapacityGrid
 
@@ -123,7 +123,7 @@ class Placement:
         which the clones share.
         """
         if self._geometry is None:
-            self._geometry = NetGeometryIndex.build(
+            self._geometry = shared_geometry(
                 self.netlist,
                 self.floorplan.macro_placements,
                 self.port_locations,

@@ -52,6 +52,14 @@ class RoutedEdge:
         default=None, repr=False, compare=False
     )
 
+    def __getstate__(self):
+        # Enforce the "never serialized" contract on seg_ids: stage
+        # checkpoints pickle routed nets, and every consumer rebuilds
+        # from ``path`` when the cache is absent.
+        state = self.__dict__.copy()
+        state["seg_ids"] = None
+        return state
+
 
 @dataclass
 class RoutedNet:

@@ -1,0 +1,35 @@
+"""Persistent flow service (``repro.serve``).
+
+:class:`FlowService` keeps a pool of forked workers warm — flow stack
+imported, tech presets materialized, ambient stage cache activated —
+behind an async FIFO job queue; :func:`run_throughput` measures the
+cold/warm designs-per-hour split that ``bench serve`` gates.
+"""
+
+from repro.serve.service import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    FlowService,
+    JobRecord,
+)
+from repro.serve.throughput import (
+    THROUGHPUT_SCENARIO,
+    ThroughputReport,
+    run_throughput,
+    throughput_record,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "FlowService",
+    "JobRecord",
+    "QUEUED",
+    "RUNNING",
+    "THROUGHPUT_SCENARIO",
+    "ThroughputReport",
+    "run_throughput",
+    "throughput_record",
+]

@@ -1,0 +1,260 @@
+"""The persistent flow service: a warm worker pool running scenarios.
+
+``bench run --jobs`` builds a pool, runs one scenario list, and tears
+everything down — every invocation re-pays interpreter start, flow
+imports, tech-preset construction and cache-index reads.
+:class:`FlowService` keeps that pool *alive*: workers are forked once
+with the flow stack imported, the tech presets materialized and the
+ambient stage cache activated, then serve an async FIFO job queue until
+drained.  Combined with ``repro.cache``, a service that has seen a
+scenario once answers the next submission as a chain of cache hits from
+a hot sidecar index — the "designs per hour" regime the bench
+throughput gate measures.
+
+Platforms without the fork start method (see
+:func:`repro.bench.runner.fork_context`) degrade to a single serial
+worker thread: same API, same FIFO semantics, no warm-pool speedup —
+the obs recorder slot is process-global, so one worker thread is the
+safe concurrency there.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.bench.runner import (
+    FORK_FALLBACK_MESSAGE,
+    _bench_worker,
+    _init_worker_events,
+    fork_context,
+)
+from repro.obs.events import DEFAULT_HEARTBEAT_S, jsonl_writer
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class JobRecord:
+    """One submitted scenario's lifecycle inside the service."""
+
+    job_id: int
+    scenario: str
+    state: str = QUEUED
+    submitted_unix: float = 0.0
+    wall_s: float = 0.0
+    artifact: Optional[Any] = None
+    paths: List[str] = field(default_factory=list)
+    error: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "scenario": self.scenario,
+            "state": self.state,
+            "wall_s": round(self.wall_s, 6),
+            "error": self.error,
+        }
+
+
+def _warm_worker(queue: Any, heartbeat_s: float, cache_dir: Optional[str]) -> None:
+    """Pool initializer: event adoption + ambient cache + hot imports.
+
+    Importing the whole flow stack and materializing both tech presets
+    here is what makes the pool *warm* — jobs start at the algorithm,
+    not at module import.
+    """
+    _init_worker_events(queue, heartbeat_s, cache_dir)
+    import repro.core.macro3d  # noqa: F401
+    import repro.flows.compact2d  # noqa: F401
+    import repro.flows.flow2d  # noqa: F401
+    import repro.flows.shrunk2d  # noqa: F401
+    from repro.tech.presets import hk28, hk28_macro_die
+
+    hk28()
+    hk28_macro_die()
+
+
+class FlowService:
+    """A persistent pool of warm flow workers with a FIFO job queue.
+
+    Jobs are submitted asynchronously by scenario name and executed in
+    submission order as workers free up; results (bench artifacts and
+    any files written) land on the :class:`JobRecord`.  Use as a context
+    manager, or call :meth:`shutdown` explicitly; :meth:`drain` blocks
+    until the queue is empty without killing the workers.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        out_dir: str = "bench_out",
+        cache_dir: Optional[str] = None,
+        svg: bool = False,
+        perfetto: bool = False,
+        events_path: Optional[str] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    ):
+        self.out_dir = out_dir
+        self.cache_dir = cache_dir
+        self._svg = svg
+        self._perfetto = perfetto
+        self._jobs: Dict[int, JobRecord] = {}
+        self._futures: Dict[int, Future] = {}
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._closed = False
+
+        events_enabled = events_path is not None or on_event is not None
+        self._events_handle = None
+        self._event_queue: Optional[Any] = None
+        self._drainer: Optional[threading.Thread] = None
+        dispatchers: List[Callable[[Dict[str, Any]], None]] = []
+        if events_path is not None:
+            self._events_handle = open(events_path, "w", encoding="utf-8")
+            dispatchers.append(jsonl_writer(self._events_handle))
+        if on_event is not None:
+            dispatchers.append(on_event)
+
+        def dispatch(event: Dict[str, Any]) -> None:
+            for sink in dispatchers:
+                sink(event)
+
+        context = fork_context()
+        if context is not None:
+            self.mode = "fork-pool"
+            self.workers = max(1, jobs)
+            if events_enabled:
+                self._event_queue = context.Queue()
+
+                def drain() -> None:
+                    while True:
+                        event = self._event_queue.get()
+                        if event is None:
+                            return
+                        dispatch(event)
+
+                self._drainer = threading.Thread(
+                    target=drain, name="serve-event-drain", daemon=True
+                )
+                self._drainer.start()
+            self._pool: Any = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=context,
+                initializer=_warm_worker,
+                initargs=(self._event_queue, heartbeat_s, cache_dir),
+            )
+        else:
+            # No fork: same API on one serial worker thread (the obs
+            # recorder slot is process-global — one thread is the safe
+            # concurrency).  The warmup runs in-thread on first use.
+            self.mode = "serial-thread"
+            self.workers = 1
+            self.fallback_reason = FORK_FALLBACK_MESSAGE
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-worker"
+            )
+            shim = _QueueShim(dispatch) if events_enabled else None
+            self._pool.submit(_warm_worker, shim, heartbeat_s, cache_dir)
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, scenario: str) -> int:
+        """Enqueue one scenario; returns its job id immediately."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("FlowService is shut down")
+            job_id = self._next_id
+            self._next_id += 1
+            record = JobRecord(
+                job_id=job_id, scenario=scenario,
+                submitted_unix=time.time(),
+            )
+            self._jobs[job_id] = record
+            future = self._pool.submit(
+                _bench_worker, scenario, self.out_dir, self._svg, False,
+                self._perfetto,
+            )
+            self._futures[job_id] = future
+        future.add_done_callback(lambda f, jid=job_id: self._finish(jid, f))
+        return job_id
+
+    def _finish(self, job_id: int, future: Future) -> None:
+        record = self._jobs[job_id]
+        try:
+            name, artifact, paths, start, end, tb = future.result()
+        except Exception:
+            record.state = FAILED
+            record.error = traceback.format_exc().strip().splitlines()[-1]
+            return
+        record.wall_s = end - start
+        if tb is not None:
+            record.state = FAILED
+            record.error = tb.strip().splitlines()[-1]
+            return
+        record.state = DONE
+        record.artifact = artifact
+        record.paths = paths
+
+    # -- inspection ----------------------------------------------------------------
+
+    def job(self, job_id: int) -> JobRecord:
+        return self._jobs[job_id]
+
+    @property
+    def records(self) -> List[JobRecord]:
+        return [self._jobs[jid] for jid in sorted(self._jobs)]
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def wait(self, job_id: int, timeout: Optional[float] = None) -> JobRecord:
+        """Block until one job finishes; returns its record."""
+        self._futures[job_id].result(timeout=timeout)
+        return self._jobs[job_id]
+
+    def drain(self, timeout: Optional[float] = None) -> List[JobRecord]:
+        """Graceful drain: wait for every queued job, keep workers warm."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job_id in sorted(self._futures):
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                self._futures[job_id].result(timeout=remaining)
+            except Exception:
+                pass  # recorded on the JobRecord by _finish
+        return self.records
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain (when ``wait``) and dismantle the pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        if self._event_queue is not None:
+            self._event_queue.put(None)
+            if self._drainer is not None:
+                self._drainer.join()
+        if self._events_handle is not None:
+            self._events_handle.close()
+
+    def __enter__(self) -> "FlowService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown(wait=True)
+
+
+class _QueueShim:
+    """Adapts the in-process event dispatcher to the queue interface the
+    worker-side streaming writer expects (``.put``)."""
+
+    def __init__(self, dispatch: Callable[[Dict[str, Any]], None]):
+        self.put = dispatch

@@ -1,0 +1,427 @@
+"""Property and integration tests for the stage cache (repro.cache).
+
+The key layer carries the whole correctness story — a wrong hit serves
+a stale checkpoint silently — so its two load-bearing properties get
+the property-style treatment: byte-stability (same logical inputs hash
+identically across processes and ``PYTHONHASHSEED`` values, whatever
+the dict/set insertion order) and sensitivity (fault-injection style:
+perturb one knob, one netlist bit, or one upstream key and the key
+must move).  On top of that: store round trips (including the
+deep-object-graph pickling regression), the StageChain hit/miss/replay
+protocol on a synthetic three-stage flow, the spawn-platform serial
+fallback of ``bench run --jobs``, and one real 2D flow run proving a
+warm repeat is all hits with byte-identical QoR counters.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Scenario,
+    register_scenario,
+    run_benchmarks,
+    scenarios_overlapped,
+    unregister_scenario,
+)
+from repro.bench.runner import FORK_FALLBACK_MESSAGE, fork_context
+from repro.bench.scenarios import FLOW_RUNNERS
+from repro.cache import (
+    CacheError,
+    StageCache,
+    StageChain,
+    UnhashableInputError,
+    active_cache,
+    caching,
+    canonical_fingerprint,
+    chain_key,
+    netlist_fingerprint,
+    resolve_cache_dir,
+    stage_key,
+)
+from repro.flows.base import FlowOptions
+from repro.flows.flow2d import run_flow_2d
+from repro.geom import Point
+from repro.netlist.index import shared_geometry
+from repro.netlist.openpiton import small_cache_config
+from repro.obs import FlowTrace, count, observe, recording
+from tests.conftest import build_mini_netlist
+
+
+class TestCanonicalFingerprint:
+    def test_dict_order_insensitive(self):
+        a = {"placer": "cg", "iterations": 40, "seed": 2020}
+        b = {"seed": 2020, "iterations": 40, "placer": "cg"}
+        assert canonical_fingerprint(a) == canonical_fingerprint(b)
+
+    def test_nested_container_order_insensitive(self):
+        a = {"opts": {"x": 1, "y": 2}, "tags": {"fast", "wide"}}
+        b = {"tags": {"wide", "fast"}, "opts": {"y": 2, "x": 1}}
+        assert canonical_fingerprint(a) == canonical_fingerprint(b)
+
+    def test_type_tags_keep_lookalikes_distinct(self):
+        keys = {canonical_fingerprint(v) for v in (1, 1.0, "1", True, None)}
+        assert len(keys) == 5
+
+    def test_sequence_order_matters(self):
+        assert canonical_fingerprint([1, 2]) != canonical_fingerprint([2, 1])
+
+    def test_value_sensitivity(self):
+        base = {"knobs": {"scale": 0.02, "sizing": 3}}
+        edited = copy.deepcopy(base)
+        edited["knobs"]["sizing"] = 4
+        assert canonical_fingerprint(base) != canonical_fingerprint(edited)
+
+    def test_numpy_arrays_hash_by_content(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert canonical_fingerprint(a) == canonical_fingerprint(a.copy())
+        b = a.copy()
+        b[1, 2] += 1e-9
+        assert canonical_fingerprint(a) != canonical_fingerprint(b)
+        assert (canonical_fingerprint(a)
+                != canonical_fingerprint(a.astype(np.float32)))
+
+    def test_value_objects_hash_by_attribute_state(self, tech):
+        assert (canonical_fingerprint(tech)
+                == canonical_fingerprint(copy.deepcopy(tech)))
+        options = FlowOptions(sizing_iterations=3)
+        edited = FlowOptions(sizing_iterations=4)
+        assert canonical_fingerprint(options) != canonical_fingerprint(edited)
+
+    def test_rejects_uncanonicalizable_inputs(self):
+        with pytest.raises(UnhashableInputError):
+            canonical_fingerprint({"fn": lambda: None})
+
+    def test_byte_stable_across_processes_and_hash_seeds(self):
+        """The property the whole store rests on: a fresh interpreter
+        with a different PYTHONHASHSEED reproduces the exact digest."""
+        payload = (
+            "{'flow': 's2d', 'knobs': {'scale': 0.02, 'tags': {'a', 'b'},"
+            " 'opts': (1, 2.5, True, None)}}"
+        )
+        script = (
+            "from repro.cache import canonical_fingerprint, chain_key;"
+            f"obj = eval({payload!r});"
+            "print(canonical_fingerprint(obj));"
+            "print(chain_key('s2d', obj))"
+        )
+        digests = []
+        for seed in ("0", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", env.get("PYTHONPATH")])
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            digests.append(proc.stdout.split())
+        obj = eval(payload)
+        assert digests[0] == digests[1]
+        assert digests[0] == [canonical_fingerprint(obj),
+                              chain_key("s2d", obj)]
+
+
+class TestNetlistFingerprint:
+    def test_identical_builds_agree(self, library):
+        a = build_mini_netlist(library)
+        b = build_mini_netlist(library)
+        assert netlist_fingerprint(a) == netlist_fingerprint(b)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda nl, lib: nl.add_instance("extra", lib.cell("INV_X2")),
+        lambda nl, lib: nl.add_net("stray"),
+        lambda nl, lib: setattr(nl.nets[2], "is_clock", True),
+        lambda nl, lib: setattr(nl.instances[0], "fixed", True),
+        lambda nl, lib: setattr(nl, "name", "renamed"),
+    ], ids=["add-instance", "add-net", "clock-mark", "fix-cell", "rename"])
+    def test_single_bit_mutations_move_the_fingerprint(self, library, mutate):
+        # Fault-injection style (cf. tests/test_drc.py): seed exactly one
+        # logical change and the content hash must move.
+        base = netlist_fingerprint(build_mini_netlist(library))
+        mutant = build_mini_netlist(library)
+        mutate(mutant, library)
+        assert netlist_fingerprint(mutant) != base
+
+    def test_scale_changes_fingerprint(self, tiny_tile):
+        from repro.netlist.openpiton import build_tile
+
+        other = build_tile(small_cache_config(), scale=0.021)
+        assert (netlist_fingerprint(other.netlist)
+                != netlist_fingerprint(tiny_tile.netlist))
+
+
+class TestStageKeys:
+    UP = "0" * 64
+
+    def test_chained_on_upstream(self):
+        a = stage_key("global_place", self.UP, {"placer": "cg"})
+        b = stage_key("global_place", "1" * 64, {"placer": "cg"})
+        assert a != b
+
+    def test_knob_edits_move_the_key(self):
+        base = stage_key("sta", self.UP, {"sizing_iterations": 3})
+        assert base != stage_key("sta", self.UP, {"sizing_iterations": 4})
+        assert base == stage_key("sta", self.UP, {"sizing_iterations": 3})
+
+    def test_stage_name_disambiguates(self):
+        assert (stage_key("extract", self.UP, {})
+                != stage_key("pseudo_extract", self.UP, {}))
+
+    def test_chain_key_folds_flow_name(self):
+        inputs = {"scale": 0.02}
+        assert chain_key("2d", inputs) != chain_key("macro3d", inputs)
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        cache = StageCache(str(tmp_path))
+        key = "ab" * 32
+        state = {"tile": {"nets": 3}, "floorplan": [1.5, 2.5]}
+        journal = [["counter", "cache_probe", 2.0]]
+        cache.store(key, state, journal, stage="floorplan", flow="2d",
+                    facts={"netlist": "deadbeef"}, wall_s=0.25)
+        meta = cache.lookup(key)
+        assert meta is not None
+        assert meta["stage"] == "floorplan"
+        assert meta["facts"] == {"netlist": "deadbeef"}
+        assert meta["journal"] == journal
+        assert cache.load_state(key) == state
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.by_stage == {"floorplan": 1}
+        assert stats.total_bytes > 0
+
+    def test_lookup_miss_is_none(self, tmp_path):
+        assert StageCache(str(tmp_path)).lookup("cd" * 32) is None
+
+    def test_clear_empties_the_root(self, tmp_path):
+        cache = StageCache(str(tmp_path))
+        cache.store("ef" * 32, {"x": 1}, [], stage="sta")
+        assert cache.clear() == 1
+        assert StageCache(str(tmp_path)).lookup("ef" * 32) is None
+
+    def test_torn_entry_raises_cache_error(self, tmp_path):
+        cache = StageCache(str(tmp_path))
+        key = "12" * 32
+        cache.store(key, {"x": 1}, [], stage="sta")
+        with open(cache.state_path(key), "wb") as handle:
+            handle.write(b"\x80corrupt")
+        with pytest.raises(CacheError):
+            cache.load_state(key)
+
+    def test_deep_object_graphs_pickle(self, tmp_path):
+        # Regression: Instance->Net->Instance chains recurse with design
+        # depth; the plain pickler blows the default recursion limit at
+        # bench scales.  The store must swallow graphs far deeper than
+        # sys.getrecursionlimit().
+        node = None
+        for i in range(30_000):
+            node = {"next": node, "i": i}
+        cache = StageCache(str(tmp_path))
+        key = "34" * 32
+        cache.store(key, {"deep": node}, [], stage="build_tile")
+        loaded = cache.load_state(key)["deep"]
+        assert loaded["i"] == 29_999
+        assert loaded["next"]["next"]["i"] == 29_997
+
+    def test_resolve_cache_dir_precedence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(str(tmp_path / "arg")).endswith("arg")
+        assert resolve_cache_dir(None).endswith("env")
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert resolve_cache_dir(None).endswith(os.path.join(".cache", "repro"))
+
+
+def _three_stage_chain(flow_inputs, knobs):
+    """One synthetic flow run: seed -> transform -> reduce."""
+    chain = StageChain.begin("toy", **flow_inputs)
+
+    def seed(st):
+        count("toy_seeded", 1)
+        st["values"] = list(range(10))
+        return {"n": len(st["values"])}
+
+    def transform(st):
+        observe("toy_scale", float(knobs["scale"]))
+        st["scaled"] = [v * knobs["scale"] for v in st["values"]]
+
+    def reduce_(st):
+        count("toy_reduced", 1)
+        st["total"] = sum(st["scaled"])
+
+    chain.run("seed", seed)
+    chain.run("transform", transform, scale=knobs["scale"])
+    chain.run("reduce", reduce_)
+    return chain
+
+
+class TestStageChain:
+    INPUTS = {"config": "smallcache"}
+
+    def test_null_chain_without_ambient_cache(self):
+        assert active_cache() is None
+        chain = _three_stage_chain(self.INPUTS, {"scale": 3})
+        assert not chain.enabled
+        assert chain.key == ""
+        assert chain.state["total"] == 135
+        assert [kind for _, kind in chain.stages] == ["computed"] * 3
+
+    def test_cold_then_warm_then_edited(self, tmp_path):
+        with caching(StageCache(str(tmp_path))):
+            with recording() as rec:
+                cold = _three_stage_chain(self.INPUTS, {"scale": 3})
+            cold_trace = FlowTrace.from_recorder(rec)
+            assert (cold.hits, cold.misses) == (0, 3)
+            assert cold.state["total"] == 135
+
+            with recording() as rec:
+                warm = _three_stage_chain(self.INPUTS, {"scale": 3})
+            warm_trace = FlowTrace.from_recorder(rec)
+            assert (warm.hits, warm.misses) == (3, 0)
+            assert [kind for _, kind in warm.stages] == ["hit"] * 3
+            # One lazy unpickle of the deepest checkpoint reproduces the
+            # cumulative state...
+            assert warm.state["total"] == 135
+            # ...and journal replay reproduces every cold metric.
+            assert warm_trace.counters["toy_seeded"] == 1
+            assert warm_trace.counters["toy_reduced"] == 1
+            assert (warm_trace.histograms["toy_scale"].to_dict()
+                    == cold_trace.histograms["toy_scale"].to_dict())
+            assert warm_trace.counters["cache_hit"] == 3
+            assert cold_trace.counters["cache_miss"] == 3
+            assert cold_trace.counters["cache_store"] == 3
+
+            # A knob edit keeps the upstream checkpoint and recomputes
+            # only from the edited stage on.
+            edited = _three_stage_chain(self.INPUTS, {"scale": 5})
+            assert [kind for _, kind in edited.stages] == [
+                "hit", "miss", "miss"
+            ]
+            assert edited.state["total"] == 225
+
+    def test_run_level_inputs_partition_the_cache(self, tmp_path):
+        with caching(StageCache(str(tmp_path))):
+            _three_stage_chain(self.INPUTS, {"scale": 3})
+            other = _three_stage_chain({"config": "largecache"}, {"scale": 3})
+            assert (other.hits, other.misses) == (0, 3)
+
+    def test_hit_spans_are_tagged(self, tmp_path):
+        with caching(StageCache(str(tmp_path))):
+            _three_stage_chain(self.INPUTS, {"scale": 3})
+            with recording() as rec:
+                _three_stage_chain(self.INPUTS, {"scale": 3})
+        spans = FlowTrace.from_recorder(rec).spans
+        assert [s.name for s in spans] == ["seed", "transform", "reduce"]
+        assert all(s.attrs.get("cache") == "hit" for s in spans)
+
+
+class TestFlowWarmRepeat:
+    """The acceptance property on a real (tiny) flow: a warm repeat is
+    a chain of hits and its QoR counters match the cold run's."""
+
+    OPTIONS = FlowOptions(sizing_iterations=1)
+
+    def _run(self):
+        with recording() as rec:
+            result = run_flow_2d(
+                small_cache_config(), scale=0.01, options=self.OPTIONS
+            )
+        return result, FlowTrace.from_recorder(
+            rec, flow=result.flow, design=result.design
+        )
+
+    def test_warm_2d_flow_is_all_hits_and_qor_identical(self, tmp_path):
+        with caching(StageCache(str(tmp_path))):
+            cold, cold_trace = self._run()
+            warm, warm_trace = self._run()
+        assert warm_trace.counters["cache_hit"] == 10
+        assert "cache_miss" not in warm_trace.counters
+        assert cold_trace.counters["cache_miss"] == 10
+        assert warm.summary.as_row() == cold.summary.as_row()
+
+        def qor_counters(trace):
+            return {k: v for k, v in trace.counters.items()
+                    if not k.startswith("cache_")}
+
+        assert qor_counters(warm_trace) == qor_counters(cold_trace)
+        assert warm_trace.gauges == cold_trace.gauges
+
+
+class TestIndexReuse:
+    def test_same_geometry_reuses_one_index(self, library):
+        netlist = build_mini_netlist(library)
+        ports = {
+            "clk": Point(0.0, 5.0),
+            "din": Point(0.0, 2.5),
+            "dout": Point(20.0, 7.5),
+        }
+        with recording() as rec:
+            first = shared_geometry(netlist, {}, ports)
+            second = shared_geometry(netlist, {}, dict(ports))
+        assert second is first
+        trace = FlowTrace.from_recorder(rec)
+        assert trace.counters["index_reuse"] == 1
+        # A different geometry is a different index, not a stale reuse.
+        moved = dict(ports, dout=Point(21.0, 7.5))
+        assert shared_geometry(netlist, {}, moved) is not first
+
+
+def _boom_flow(config, scale, options):
+    raise RuntimeError("kaboom: fallback-path probe")
+
+
+class TestSpawnFallback:
+    """bench run --jobs on a spawn-only platform: loud serial fallback."""
+
+    A = Scenario(name="boomA-smallcache-forktest", flow="boomfb",
+                 config="smallcache", size="forktest", scale=0.01,
+                 sizing_iterations=1)
+    B = Scenario(name="boomB-smallcache-forktest", flow="boomfb",
+                 config="smallcache", size="forktest", scale=0.01,
+                 sizing_iterations=1)
+
+    @pytest.fixture()
+    def spawn_only(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.runner.multiprocessing.get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        monkeypatch.setitem(FLOW_RUNNERS, "boomfb", _boom_flow)
+        register_scenario(self.A)
+        register_scenario(self.B)
+        yield
+        unregister_scenario(self.A.name)
+        unregister_scenario(self.B.name)
+
+    def test_fork_context_is_none_without_fork(self, spawn_only):
+        assert fork_context() is None
+
+    def test_parallel_run_warns_and_runs_serially(self, spawn_only, tmp_path):
+        with pytest.warns(RuntimeWarning, match="serially"):
+            results, schedule, failures = run_benchmarks(
+                [self.A, self.B], str(tmp_path), svg=False, jobs=2
+            )
+        # Both scenarios executed (and failed on the probe flow) — the
+        # fallback ran the full list, one at a time.
+        assert sorted(f.scenario for f in failures) == [
+            self.A.name, self.B.name
+        ]
+        assert not scenarios_overlapped(schedule)
+        assert "fork" in FORK_FALLBACK_MESSAGE
+
+    def test_fork_platform_does_not_warn(self, tmp_path, recwarn):
+        if fork_context() is None:
+            pytest.skip("platform genuinely lacks fork")
+        # An empty serial run must never emit the fallback warning.
+        results, _schedule, failures = run_benchmarks(
+            [], str(tmp_path), svg=False, jobs=1
+        )
+        assert results == [] and failures == []
+        assert not [w for w in recwarn.list
+                    if "serially" in str(w.message)]
